@@ -1,0 +1,71 @@
+"""X1 -- Sec 7: the Psi trade-off in competitive environments.
+
+No figure in the paper; this bench maps the sketched mechanism.  Cache and
+sources value disjoint halves of the objects; sweeping Psi should trade
+cache-objective divergence for source-objective divergence, and option 3
+(contribution/piggyback) should track option 1 broadly.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.core.weights import StaticWeights
+from repro.experiments.runner import RunSpec, run_policy
+from repro.metrics.report import format_table
+from repro.network.bandwidth import ConstantBandwidth
+from repro.policies.competitive import CompetitivePolicy
+from repro.workloads.synthetic import uniform_random_walk
+
+SPEC = RunSpec(warmup=100.0, measure=400.0)
+
+
+def run_psi_sweep(psis=(0.0, 0.25, 0.5, 0.75), option="equal", seed=0,
+                  num_sources=5, objects_per_source=10, bandwidth=10.0):
+    rows = []
+    for psi in psis:
+        workload = uniform_random_walk(
+            num_sources=num_sources,
+            objects_per_source=objects_per_source,
+            horizon=SPEC.end_time, rng=np.random.default_rng(seed),
+            rate_range=(0.2, 0.8))
+        n = workload.num_objects
+        cache_weights = np.ones(n)
+        cache_weights[: n // 2] = 10.0
+        source_weights = np.ones(n)
+        source_weights[n // 2:] = 10.0
+        workload.weights = StaticWeights(cache_weights)
+        policy = CompetitivePolicy(
+            ConstantBandwidth(bandwidth),
+            [ConstantBandwidth(5.0)] * num_sources,
+            AreaPriority(),
+            source_weights=StaticWeights(source_weights),
+            psi=psi, option=option)
+        result = run_policy(workload, ValueDeviation(), policy, SPEC)
+        rows.append([psi, result.weighted_divergence,
+                     policy.source_objective_divergence(SPEC.end_time),
+                     policy.own_refreshes_sent])
+    return rows
+
+
+def test_x1_psi_tradeoff_equal_shares(benchmark):
+    rows = run_once(benchmark, run_psi_sweep, option="equal")
+    print()
+    print(format_table(
+        ["psi", "cache objective", "source objective", "own refreshes"],
+        rows, title="X1: Sec 7 Psi trade-off (option 1, equal shares)"))
+    source_side = [row[2] for row in rows]
+    assert source_side[-1] < source_side[0], \
+        "raising Psi must serve the sources' objective"
+
+
+def test_x1_contribution_option(benchmark):
+    rows = run_once(benchmark, run_psi_sweep, option="contribution",
+                    psis=(0.0, 0.5))
+    print()
+    print(format_table(
+        ["psi", "cache objective", "source objective", "own refreshes"],
+        rows, title="X1: Sec 7 option 3 (contribution piggyback)"))
+    assert rows[1][3] > 0  # piggybacked refreshes actually happen
+    assert rows[1][2] < rows[0][2]

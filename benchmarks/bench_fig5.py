@@ -1,0 +1,43 @@
+"""E5 -- Figure 5: wind-buoy monitoring over a constrained satellite link.
+
+Paper claims: average value deviation falls as bandwidth grows, and our
+threshold algorithm closely tracks the theoretically achievable (ideal
+scenario) curve -- for both fixed and fluctuating (mB = 0.25) bandwidth.
+
+Data substitution: synthetic wind field statistically matched to the PMEL
+TAO buoy data (see DESIGN.md Sec 5).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.tables import render_fig5
+
+
+def _check(points):
+    divergences = [p.ideal_divergence for p in points]
+    assert all(a >= b for a, b in zip(divergences, divergences[1:])), \
+        "ideal divergence must fall with bandwidth"
+    for p in points:
+        # "closely follows the divergence theoretically achievable":
+        # within a factor of ~2 or a small absolute offset everywhere.
+        assert p.actual_divergence <= 2.0 * p.ideal_divergence + 0.15
+
+
+def test_e5_fixed_bandwidth(benchmark):
+    points = run_once(benchmark, run_fig5,
+                      bandwidths=(1, 2, 5, 10, 20, 40, 80),
+                      fluctuating=False, days=7.0, warmup_days=1.0)
+    print()
+    print(render_fig5(points, "Figure 5 (fixed bandwidth, msgs/min)"))
+    _check(points)
+
+
+def test_e5_fluctuating_bandwidth(benchmark):
+    points = run_once(benchmark, run_fig5,
+                      bandwidths=(1, 2, 5, 10, 20, 40, 80),
+                      fluctuating=True, days=7.0, warmup_days=1.0)
+    print()
+    print(render_fig5(points,
+                      "Figure 5 (fluctuating bandwidth, mB = 0.25)"))
+    _check(points)

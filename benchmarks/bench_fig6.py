@@ -1,0 +1,45 @@
+"""E6 -- Figure 6: cooperative vs. cache-driven (CGM) synchronization.
+
+Paper claims, at every bandwidth fraction:
+
+    ideal cooperative <= our algorithm < ideal cache-based < CGM1 <= CGM2
+
+with cooperative techniques enjoying a wide margin at low bandwidth.  The
+paper runs panels for m = 10, 100, 1000 sources (n = 10 objects each); the
+m = 1000 panel is hours of pure-Python CPU and is omitted here (the runner
+accepts it).
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.tables import render_fig6
+
+
+def _check(points):
+    for point in points:
+        s = point.staleness
+        assert s["ideal-cooperative"] <= s["our-algorithm"] * 1.10 + 0.01
+        assert s["our-algorithm"] < s["cgm1"]
+        assert s["ideal-cache-based"] < s["cgm1"]
+        assert s["cgm1"] <= s["cgm2"] * 1.10 + 0.01
+
+
+def test_e6_m10(benchmark):
+    points = run_once(benchmark, run_fig6, num_sources=10,
+                      objects_per_source=10,
+                      fractions=(0.1, 0.3, 0.5, 0.7, 0.9),
+                      warmup=100.0, measure=500.0)
+    print()
+    print(render_fig6(points, "Figure 6, m = 10 sources"))
+    _check(points)
+
+
+def test_e6_m100(benchmark):
+    points = run_once(benchmark, run_fig6, num_sources=100,
+                      objects_per_source=10,
+                      fractions=(0.1, 0.5, 0.9),
+                      warmup=100.0, measure=500.0)
+    print()
+    print(render_fig6(points, "Figure 6, m = 100 sources (reduced sweep)"))
+    _check(points)

@@ -1,0 +1,106 @@
+"""X5/X6 -- Sec 10.1 future-work mechanisms, quantified.
+
+* **X5 batching**: "packaging several data objects into the same message"
+  trades per-message amortization against artificial refresh delay.  The
+  bench sweeps the batch size under scarce bandwidth (amortization should
+  win) and abundant bandwidth (delay should dominate) -- mapping the
+  trade-off the paper poses as an open question.
+* **X6 measured rates**: the Poisson special-case priorities driven by
+  Sec 8.1's online rate estimates instead of oracle rates, across EWMA
+  horizons ("the parameter may be monitored over a longer period of
+  time").  Long horizons should approach oracle-rate scheduling.
+"""
+
+import numpy as np
+from conftest import run_once
+
+from repro.core.divergence import Staleness
+from repro.core.priority import PoissonStalenessPriority
+from repro.experiments.runner import RunSpec, run_policy
+from repro.metrics.report import format_table
+from repro.network.bandwidth import ConstantBandwidth
+from repro.policies.base import SimulationContext
+from repro.policies.cooperative import CooperativePolicy
+from repro.policies.ideal import IdealCooperativePolicy
+from repro.source.rates import EstimatedRatePriority, OnlineRateEstimator
+from repro.workloads.synthetic import uniform_random_walk
+
+SPEC = RunSpec(warmup=150.0, measure=450.0)
+
+
+def run_batching_sweep(batch_sizes=(1, 2, 4, 8), seed=0):
+    rows = []
+    for regime, bandwidth in (("scarce (4 msg/s)", 4.0),
+                              ("abundant (40 msg/s)", 40.0)):
+        for batch_size in batch_sizes:
+            workload = uniform_random_walk(
+                num_sources=4, objects_per_source=10,
+                horizon=SPEC.end_time, rng=np.random.default_rng(seed),
+                rate_range=(0.3, 1.0))
+            policy = CooperativePolicy(
+                ConstantBandwidth(bandwidth),
+                [ConstantBandwidth(10.0)] * 4,
+                PoissonStalenessPriority(),
+                batch_size=batch_size, batch_timeout=2.0)
+            result = run_policy(workload, Staleness(), policy, SPEC)
+            rows.append([regime, batch_size,
+                         result.unweighted_divergence,
+                         result.messages_total])
+    return rows
+
+
+def test_x5_batching_tradeoff(benchmark):
+    rows = run_once(benchmark, run_batching_sweep)
+    print()
+    print(format_table(
+        ["bandwidth regime", "batch size", "avg staleness", "messages"],
+        rows, title="X5: Sec 10.1 refresh batching trade-off"))
+    scarce = {r[1]: r[2] for r in rows if r[0].startswith("scarce")}
+    abundant = {r[1]: r[2] for r in rows if r[0].startswith("abundant")}
+    # Scarce bandwidth: amortization must help.
+    assert scarce[4] < scarce[1]
+    # Abundant bandwidth: batching cannot help much and the forced delay
+    # must show up as equal-or-worse divergence.
+    assert abundant[8] >= abundant[1] * 0.9
+
+
+def run_estimation_sweep(horizons=(2.0, 10.0, 50.0), seed=1):
+    def run(priority_factory):
+        workload = uniform_random_walk(
+            num_sources=1, objects_per_source=50, horizon=SPEC.end_time,
+            rng=np.random.default_rng(seed), rate_range=(0.05, 1.0))
+        estimator = OnlineRateEstimator(horizon=1.0)  # replaced below
+        priority, estimator = priority_factory()
+        policy = IdealCooperativePolicy(ConstantBandwidth(10.0), priority)
+        ctx = SimulationContext(workload, Staleness(),
+                                warmup=SPEC.warmup)
+        if estimator is not None:
+            ctx.add_update_hook(
+                lambda obj, now: estimator.observe_update(obj.index, now))
+        policy.attach(ctx)
+        ctx.run(SPEC.end_time)
+        return ctx.collector.mean_unweighted_average()
+
+    rows = [["oracle rates", run(lambda: (PoissonStalenessPriority(),
+                                          None))]]
+    for horizon in horizons:
+        def factory(horizon=horizon):
+            estimator = OnlineRateEstimator(horizon=horizon)
+            return (EstimatedRatePriority(PoissonStalenessPriority(),
+                                          estimator), estimator)
+        rows.append([f"estimated, EWMA horizon {horizon:g}",
+                     run(factory)])
+    return rows
+
+
+def test_x6_estimated_rates(benchmark):
+    rows = run_once(benchmark, run_estimation_sweep)
+    print()
+    print(format_table(
+        ["rate source", "avg staleness"],
+        rows, title="X6: Sec 8.1 measured rates vs. oracle rates"))
+    oracle = rows[0][1]
+    longest = rows[-1][1]
+    # With a long estimation horizon, measured-rate scheduling approaches
+    # the oracle.
+    assert longest <= oracle * 1.25 + 0.02

@@ -1,0 +1,37 @@
+"""X7 -- communication overhead stays low and flat as sources scale.
+
+Paper claim (abstract / Sec 6): the algorithm "achieves low overall
+divergence without incurring excessive communication overhead, even in
+environments with a large number of sources".  The equilibrium analysis
+predicts a ~4% feedback share at alpha = 1.1 / omega = 10, independent
+of m.
+"""
+
+from conftest import run_once
+
+from repro.experiments.overhead import (
+    predicted_overhead_fraction,
+    run_overhead_scaling,
+)
+from repro.metrics.report import format_table
+
+
+def test_x7_overhead_scaling(benchmark):
+    points = run_once(benchmark, run_overhead_scaling,
+                      source_counts=(5, 20, 80))
+    predicted = predicted_overhead_fraction()
+    print()
+    print(format_table(
+        ["sources", "overhead fraction", "staleness", "feedback",
+         "refreshes"],
+        [[p.num_sources, p.overhead_fraction, p.divergence,
+          p.feedback_messages, p.refreshes] for p in points],
+        title=f"X7: coordination overhead vs. m "
+              f"(analytic equilibrium ~{predicted:.3f})"))
+    fractions = [p.overhead_fraction for p in points]
+    # Low everywhere...
+    assert all(f < 0.12 for f in fractions)
+    # ...flat in m (no blow-up at larger fleets)...
+    assert max(fractions) < 3.0 * max(min(fractions), 0.01)
+    # ...and in the neighborhood of the analytic prediction.
+    assert all(0.2 * predicted < f < 3.0 * predicted for f in fractions)

@@ -1,0 +1,48 @@
+"""E1/E2 -- Sec 4.3 validation of the refresh priority function.
+
+Paper claims:
+* E1 (uniform rates/weights): our priority vs. the simple ``D * W``
+  strawman differ by < 10% in overall time-averaged divergence.
+* E2 (skewed weights 10/1 and rates 0.01/every-second): the strawman
+  increases divergence by +64% (staleness), +74% (lag), +84% (deviation).
+"""
+
+from conftest import run_once
+
+from repro.experiments.tables import render_validation
+from repro.experiments.validation import (
+    run_size_sweep,
+    run_skewed_validation,
+    run_uniform_validation,
+)
+
+
+def test_e1_uniform(benchmark):
+    rows = run_once(benchmark, run_uniform_validation,
+                    num_objects=100, warmup=100.0, measure=1000.0)
+    print()
+    print(render_validation(
+        rows, "E1 (Sec 4.3, uniform): paper claims < 10% difference"))
+    for row in rows:
+        assert abs(row.increase_pct) < 25.0  # loose guard around claim
+
+
+def test_e2_skewed(benchmark):
+    rows = run_once(benchmark, run_skewed_validation,
+                    warmup=100.0, measure=1000.0)
+    print()
+    print(render_validation(
+        rows, "E2 (Sec 4.3, skewed): paper claims +64%/+74%/+84% "
+              "(staleness/lag/deviation)"))
+    lag_row = next(r for r in rows if r.metric == "lag")
+    deviation_row = next(r for r in rows if r.metric == "deviation")
+    assert lag_row.increase_pct > 30.0
+    assert deviation_row.increase_pct > 15.0
+
+
+def test_e1_size_sweep(benchmark):
+    rows = run_once(benchmark, run_size_sweep,
+                    sizes=(1, 10, 100, 500), warmup=50.0, measure=400.0)
+    print()
+    print(render_validation(
+        rows, "E1 size sweep (n = 1..500, deviation metric)"))

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Competitive environments: a shared cache with selfish sources (Sec 7).
+
+A content aggregator (the cache) and its publishers (the sources) disagree
+about what matters: the aggregator wants the *popular* half of the catalog
+fresh; each publisher wants its *promoted* items fresh (new offers,
+announcements).  The cache dedicates a fraction ``Psi`` of its bandwidth
+to publisher priorities as an affiliation incentive.
+
+This example sweeps Psi and prints the trade-off frontier between the two
+objectives, plus the Sec 7 option 3 variant where publishers *earn*
+autonomy in proportion to how well they serve the aggregator.
+
+Run:  python examples/competitive_cache.py
+"""
+
+import numpy as np
+
+from repro.core import AreaPriority, StaticWeights, ValueDeviation
+from repro.experiments import RunSpec, run_policy
+from repro.metrics import format_table
+from repro.network import ConstantBandwidth
+from repro.policies import CompetitivePolicy
+from repro.workloads import uniform_random_walk
+
+SPEC = RunSpec(warmup=100.0, measure=400.0)
+PUBLISHERS = 8
+
+
+def build(seed: int):
+    workload = uniform_random_walk(
+        num_sources=PUBLISHERS, objects_per_source=12,
+        horizon=SPEC.end_time, rng=np.random.default_rng(seed),
+        rate_range=(0.1, 0.6))
+    n = workload.num_objects
+    rng = np.random.default_rng(seed + 1)
+    popular = rng.permutation(n)[: n // 2]
+    promoted = rng.permutation(n)[: n // 4]
+    aggregator = np.ones(n)
+    aggregator[popular] = 8.0
+    publisher = np.ones(n)
+    publisher[promoted] = 8.0
+    workload.weights = StaticWeights(aggregator)
+    return workload, StaticWeights(publisher)
+
+
+def run_point(psi: float, option: str, seed: int = 5):
+    workload, publisher_weights = build(seed)
+    policy = CompetitivePolicy(
+        ConstantBandwidth(20.0),
+        [ConstantBandwidth(8.0)] * PUBLISHERS,
+        AreaPriority(),
+        source_weights=publisher_weights,
+        psi=psi, option=option)
+    result = run_policy(workload, ValueDeviation(), policy, SPEC)
+    return (result.weighted_divergence,
+            policy.source_objective_divergence(SPEC.end_time),
+            policy.own_refreshes_sent)
+
+
+def main() -> None:
+    rows = []
+    for psi in (0.0, 0.2, 0.4, 0.6):
+        agg, pub, own = run_point(psi, "equal")
+        rows.append([f"{psi:.1f} (equal shares)", agg, pub, own])
+    agg, pub, own = run_point(0.4, "contribution")
+    rows.append(["0.4 (contribution)", agg, pub, own])
+
+    print(format_table(
+        ["Psi (split rule)", "aggregator objective",
+         "publisher objective", "publisher refreshes"],
+        rows,
+        title="Sec 7: splitting cache bandwidth between conflicting "
+              "priorities"))
+    print()
+    print("Raising Psi buys publisher freshness at a modest cost to the "
+          "aggregator's own\nobjective; the 'contribution' rule awards "
+          "autonomy in proportion to refreshes\nthat served the "
+          "aggregator, aligning the publishers' incentives with the "
+          "cache's.")
+
+
+if __name__ == "__main__":
+    main()

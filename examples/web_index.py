@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""A web indexer keeping a search index fresh (the paper's intro example).
+
+A crawler/index ("the cache") tracks pages at many content providers
+("sources").  Pages differ wildly in change rate and importance
+(PageRank-style weights), and the indexer's ingest pipeline can only
+absorb a fraction of the total change volume.
+
+Two worlds are compared:
+
+* **pull**: the indexer schedules everything itself (CGM polling with
+  estimated change rates -- today's crawler reality), and
+* **push with cooperation**: providers run the paper's threshold protocol
+  and push the index's priorities (weighted staleness).
+
+Run:  python examples/web_index.py
+"""
+
+import numpy as np
+
+from repro.core import PoissonStalenessPriority, Staleness, StaticWeights
+from repro.experiments import RunSpec, run_policy
+from repro.metrics import format_table
+from repro.network import ConstantBandwidth
+from repro.policies import CGMPollingPolicy, CooperativePolicy
+from repro.workloads import uniform_random_walk
+
+
+def build_web_workload(seed: int, horizon: float):
+    """20 providers x 25 pages with zipf-ish importance weights."""
+    rng = np.random.default_rng(seed)
+    workload = uniform_random_walk(
+        num_sources=20, objects_per_source=25, horizon=horizon, rng=rng,
+        rate_range=(0.001, 0.5))  # pages change seconds to tens of minutes
+    n = workload.num_objects
+    # PageRank-flavored importance: a heavy head, a long tail.
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = (1.0 / ranks) * n / np.sum(1.0 / ranks)
+    rng.shuffle(weights)
+    workload.weights = StaticWeights(weights)
+    return workload
+
+
+def main() -> None:
+    spec = RunSpec(warmup=150.0, measure=600.0)
+    ingest_budget = 60.0  # index-side messages/second
+
+    pull = CGMPollingPolicy(ConstantBandwidth(ingest_budget),
+                            variant="cgm2", resolve_interval=60.0)
+    push = CooperativePolicy(
+        cache_bandwidth=ConstantBandwidth(ingest_budget),
+        source_bandwidths=[ConstantBandwidth(15.0)] * 20,
+        priority_fn=PoissonStalenessPriority())
+
+    rows = []
+    for name, policy in (("pull: CGM polling crawler", pull),
+                         ("push: cooperative threshold protocol", push)):
+        workload = build_web_workload(seed=11, horizon=spec.end_time)
+        result = run_policy(workload, Staleness(), policy, spec)
+        rows.append([name,
+                     result.weighted_divergence,
+                     result.unweighted_divergence,
+                     result.refreshes])
+
+    print(format_table(
+        ["indexing strategy", "weighted staleness", "staleness",
+         "index updates"],
+        rows,
+        title="500 pages at 20 providers, ingest budget "
+              f"{ingest_budget:.0f} msgs/s"))
+    print()
+    pull_s, push_s = rows[0][1], rows[1][1]
+    print(f"Provider cooperation cuts importance-weighted staleness by "
+          f"{100 * (1 - push_s / pull_s):.0f}% at the same ingest budget: "
+          f"providers notify exactly\nwhen pages change instead of being "
+          f"polled on a guessed schedule, and no budget\nis burnt on "
+          f"poll round trips for unchanged pages.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside ``pyproject.toml`` so that ``pip install -e .`` works in
+offline environments whose setuptools predates bundled wheel support (the
+PEP 660 editable path requires the ``wheel`` package; the legacy
+``setup.py develop`` path does not).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,36 @@
+"""repro: reproduction of Olston & Widom, "Best-Effort Cache Synchronization
+with Source Cooperation" (SIGMOD 2002).
+
+Public API highlights:
+
+* :mod:`repro.core` -- divergence metrics, weights, refresh priority
+  functions, the adaptive threshold controller.
+* :mod:`repro.policies` -- runnable policies: the paper's cooperative
+  algorithm, the idealized scheduler, and the CGM cache-driven baselines.
+* :mod:`repro.workloads` -- synthetic and buoy workload generation with
+  replayable update traces.
+* :mod:`repro.experiments` -- configuration and runners for every
+  experiment in the paper's evaluation section.
+
+Quickstart::
+
+    import numpy as np
+    from repro.core import Staleness, PoissonStalenessPriority
+    from repro.network import ConstantBandwidth
+    from repro.policies import CooperativePolicy
+    from repro.experiments import RunSpec, run_policy
+    from repro.workloads import uniform_random_walk
+
+    rng = np.random.default_rng(0)
+    workload = uniform_random_walk(num_sources=10, objects_per_source=10,
+                                   horizon=300.0, rng=rng)
+    policy = CooperativePolicy(
+        cache_bandwidth=ConstantBandwidth(20.0),
+        source_bandwidths=[ConstantBandwidth(10.0)] * 10,
+        priority_fn=PoissonStalenessPriority())
+    result = run_policy(workload, Staleness(), policy,
+                        RunSpec(warmup=50.0, measure=250.0))
+    print(result.unweighted_divergence)
+"""
+
+__version__ = "1.0.0"

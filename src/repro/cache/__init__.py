@@ -1,0 +1,11 @@
+"""Cache-side machinery: store, refresh application, feedback controller."""
+
+from repro.cache.cache import CacheNode
+from repro.cache.feedback import FeedbackController
+from repro.cache.store import CacheStore
+
+__all__ = [
+    "CacheNode",
+    "CacheStore",
+    "FeedbackController",
+]

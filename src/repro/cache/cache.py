@@ -1,0 +1,118 @@
+"""The cache node: applies refreshes, records thresholds, runs feedback.
+
+The cache is deliberately thin (the paper's point is that the *sources*
+carry the scheduling intelligence): it applies whatever refreshes arrive,
+tracks piggybacked thresholds, and spends surplus bandwidth on positive
+feedback.  For the cache-driven baselines a poll handler can be registered
+to receive :class:`PollResponse` messages.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.cache.feedback import FeedbackController
+from repro.cache.store import CacheStore
+from repro.core.divergence import DivergenceMetric
+from repro.core.objects import DataObject
+from repro.metrics.collector import DivergenceCollector
+from repro.network.messages import (
+    BatchRefreshMessage,
+    Message,
+    PollResponse,
+    RefreshMessage,
+)
+from repro.network.topology import StarTopology
+
+
+class CacheNode:
+    """Receives messages on the shared cache link and applies refreshes."""
+
+    def __init__(self, objects: list[DataObject], metric: DivergenceMetric,
+                 topology: StarTopology,
+                 collector: DivergenceCollector | None = None,
+                 store: CacheStore | None = None,
+                 feedback: FeedbackController | None = None,
+                 clock: Callable[[], float] = lambda: 0.0) -> None:
+        self.objects = objects
+        self.metric = metric
+        self.topology = topology
+        self.collector = collector
+        self.store = store
+        self.feedback = feedback
+        self.clock = clock
+        self.refreshes_applied = 0
+        self.poll_responses = 0
+        self._poll_handler: Callable[[PollResponse, float], None] | None = None
+        self.refresh_hooks: list[Callable[[DataObject, float], None]] = []
+        topology.set_cache_receiver(self.on_message)
+
+    def set_poll_handler(
+            self, handler: Callable[[PollResponse, float], None]) -> None:
+        self._poll_handler = handler
+
+    def add_refresh_hook(
+            self, hook: Callable[[DataObject, float], None]) -> None:
+        """Register a callback invoked after each refresh is applied."""
+        self.refresh_hooks.append(hook)
+
+    # ------------------------------------------------------------------
+    # Message handling
+    # ------------------------------------------------------------------
+    def on_message(self, message: Message) -> None:
+        now = self.clock()
+        if isinstance(message, RefreshMessage):
+            self._apply_refresh(message, now)
+        elif isinstance(message, BatchRefreshMessage):
+            self._apply_batch(message, now)
+        elif isinstance(message, PollResponse):
+            self.poll_responses += 1
+            if self._poll_handler is not None:
+                self._poll_handler(message, now)
+
+    def _apply_refresh(self, message: RefreshMessage, now: float) -> None:
+        obj = self.objects[message.object_index]
+        obj.apply_refresh(now, message.value, message.update_count,
+                          self.metric)
+        if self.collector is not None:
+            self.collector.record(obj.index, now, obj.truth.divergence)
+        if self.store is not None:
+            self.store.apply(obj.index, message.value, now)
+        if self.feedback is not None:
+            self.feedback.observe_threshold(message.source_id,
+                                            message.threshold)
+        self.refreshes_applied += 1
+        for hook in self.refresh_hooks:
+            hook(obj, now)
+
+    def _apply_batch(self, message: BatchRefreshMessage,
+                     now: float) -> None:
+        """Apply each packaged item of a Sec 10.1 batch refresh."""
+        for object_index, value, update_count in message.items:
+            obj = self.objects[object_index]
+            obj.apply_refresh(now, value, update_count, self.metric)
+            if self.collector is not None:
+                self.collector.record(obj.index, now,
+                                      obj.truth.divergence)
+            if self.store is not None:
+                self.store.apply(obj.index, value, now)
+            self.refreshes_applied += 1
+            for hook in self.refresh_hooks:
+                hook(obj, now)
+        if self.feedback is not None:
+            self.feedback.observe_threshold(message.source_id,
+                                            message.threshold)
+
+    # ------------------------------------------------------------------
+    # Per-tick work (CACHE phase)
+    # ------------------------------------------------------------------
+    def on_tick(self, now: float) -> None:
+        """Second drain of the cache link, then feedback from surplus.
+
+        Messages sources sent earlier in this same tick can still transmit
+        with the remaining credit; only credit left over *after* that is
+        genuine surplus available for positive feedback.
+        """
+        self.topology.cache_link.drain()
+        if self.feedback is not None:
+            self.feedback.on_tick(now)

@@ -1,0 +1,85 @@
+"""The cache's positive-feedback controller (paper Sec 5).
+
+"The cache continually monitors cache-side bandwidth utilization.  If
+underutilized, the cache uses the excess bandwidth to send positive
+feedback messages to as many sources as possible (until the excess
+bandwidth is utilized), asking them each to decrease their thresholds by a
+multiplicative factor omega.  If it is not possible to provide feedback to
+every source, the sources with the highest local thresholds are selected to
+receive feedback."
+
+The controller learns source thresholds from the values piggybacked on
+refresh messages.  Sources it has never heard from are treated as having an
+infinite threshold, which bootstraps the protocol: silent sources are the
+first to receive feedback.  After sending feedback the controller
+optimistically applies the protocol's ``/ omega`` to its local record, so
+repeated surplus ticks spread feedback across sources instead of hammering
+the same one.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+from repro.network.messages import FeedbackMessage
+from repro.network.topology import StarTopology
+
+
+class FeedbackController:
+    """Selects feedback targets and spends surplus cache bandwidth.
+
+    ``min_threshold`` prevents waste in bandwidth-rich regimes: a source
+    whose piggybacked threshold is already at the numerical floor refreshes
+    everything it has, so further feedback cannot increase the refresh rate
+    and would only burn capacity.  Because the controller optimistically
+    divides its local record by ``omega`` after each feedback, a silent
+    source stops receiving feedback after a few rounds until fresh
+    piggybacked evidence arrives.
+    """
+
+    def __init__(self, topology: StarTopology, omega: float,
+                 max_per_tick: int | None = None,
+                 min_threshold: float = 1e-11) -> None:
+        self.topology = topology
+        self.omega = omega
+        self.max_per_tick = max_per_tick
+        self.min_threshold = min_threshold
+        num_sources = topology.num_sources
+        self.known_thresholds = [float("inf")] * num_sources
+        self.feedback_sent = 0
+
+    def observe_threshold(self, source_id: int, threshold: float) -> None:
+        """Record a threshold piggybacked on a refresh message."""
+        self.known_thresholds[source_id] = threshold
+
+    def on_tick(self, now: float) -> None:
+        """Spend any surplus cache-link credit on positive feedback."""
+        surplus = self.topology.cache_link.surplus()
+        budget = int(surplus)
+        if budget <= 0:
+            return
+        if self.max_per_tick is not None:
+            budget = min(budget, self.max_per_tick)
+        budget = min(budget, self.topology.num_sources)
+        targets = self._select_targets(budget)
+        for source_id in targets:
+            message = FeedbackMessage(source_id=source_id, sent_at=now)
+            if not self.topology.send_downstream(message):
+                break
+            self.feedback_sent += 1
+            known = self.known_thresholds[source_id]
+            if known != float("inf"):
+                self.known_thresholds[source_id] = known / self.omega
+
+    def _select_targets(self, budget: int) -> list[int]:
+        """The ``budget`` eligible sources with the highest thresholds."""
+        candidates = [
+            (source_id, threshold)
+            for source_id, threshold in enumerate(self.known_thresholds)
+            if threshold > self.min_threshold
+        ]
+        if budget >= len(candidates):
+            return [source_id for source_id, _ in candidates]
+        top = heapq.nlargest(budget, candidates,
+                             key=lambda kv: (kv[1], -kv[0]))
+        return [source_id for source_id, _ in top]

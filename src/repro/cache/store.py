@@ -1,0 +1,48 @@
+"""The cache's store of (possibly stale) object copies.
+
+A thin value store: the heavy divergence bookkeeping lives on the
+:class:`repro.core.objects.DataObject` truth views so that the evaluation
+machinery sees a single consistent record.  The store exists so that user
+code (examples, applications) has a natural read API with staleness
+introspection, like a real cache would expose.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class CacheStore:
+    """Values as last applied at the cache, with refresh timestamps."""
+
+    def __init__(self, num_objects: int,
+                 initial_values: np.ndarray | None = None) -> None:
+        if initial_values is None:
+            initial_values = np.zeros(num_objects)
+        if len(initial_values) != num_objects:
+            raise ValueError(
+                f"expected {num_objects} initial values, "
+                f"got {len(initial_values)}")
+        self.values = np.array(initial_values, dtype=float)
+        self.refresh_times = np.zeros(num_objects)
+        self.refresh_counts = np.zeros(num_objects, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def apply(self, index: int, value: float, now: float) -> None:
+        """Record a delivered refresh."""
+        self.values[index] = value
+        self.refresh_times[index] = now
+        self.refresh_counts[index] += 1
+
+    def read(self, index: int) -> float:
+        """Read the cached value (possibly stale -- that is the point)."""
+        return float(self.values[index])
+
+    def age(self, index: int, now: float) -> float:
+        """Time since the cached copy was last refreshed."""
+        return now - float(self.refresh_times[index])
+
+    def total_refreshes(self) -> int:
+        return int(self.refresh_counts.sum())

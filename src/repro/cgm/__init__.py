@@ -1,0 +1,37 @@
+"""Cho & Garcia-Molina cache-driven baseline machinery (Figure 6)."""
+
+from repro.cgm.allocation import (
+    expected_total_staleness,
+    frequencies_for_multiplier,
+    solve_refresh_frequencies,
+)
+from repro.cgm.estimators import (
+    BinaryChangeEstimator,
+    LastUpdateAgeEstimator,
+    RateEstimator,
+)
+from repro.cgm.freshness import (
+    freshness,
+    marginal_benefit,
+    phi,
+    phi_inverse,
+    staleness,
+    staleness_at_frequency,
+)
+from repro.cgm.poller import PollScheduler
+
+__all__ = [
+    "BinaryChangeEstimator",
+    "LastUpdateAgeEstimator",
+    "PollScheduler",
+    "RateEstimator",
+    "expected_total_staleness",
+    "frequencies_for_multiplier",
+    "freshness",
+    "marginal_benefit",
+    "phi",
+    "phi_inverse",
+    "solve_refresh_frequencies",
+    "staleness",
+    "staleness_at_frequency",
+]

@@ -1,0 +1,128 @@
+"""Update-rate estimators for the cache-driven baselines (CGM00a).
+
+The polling cache never sees updates directly; it must estimate each
+object's Poisson rate ``lambda_i`` from what polls reveal.  Two levels of
+visibility are considered in the paper's Figure 6:
+
+* **CGM1** -- the source tracks the time of the most recent update, so each
+  poll reveals the *age* ``a = t_poll - t_last_update`` (or that nothing
+  changed since the previous poll).  For a Poisson process the time looking
+  backwards from a poll to the last arrival is ``Exp(lambda)`` censored at
+  the poll interval, giving the censored-exponential MLE::
+
+      lambda_hat = (#polls that saw a change)
+                   / (sum of observed ages + sum of unchanged poll intervals)
+
+  implemented by :class:`LastUpdateAgeEstimator` (with a +0.5 smoothing
+  count so that a streak of unchanged polls decays the estimate instead of
+  zeroing it, which would starve the object of polls forever).
+
+* **CGM2** -- polls only reveal the boolean "changed since last poll?".
+  With ``k`` polls at (average) interval ``I`` and ``x`` observed changes,
+  the naive estimator ``-log(1 - x/k) / I`` diverges when ``x = k``; we use
+  the bias-reduced estimator proposed by Cho & Garcia-Molina::
+
+      lambda_hat = -log((k - x + 0.5) / (k + 0.5)) / I_mean
+
+  implemented by :class:`BinaryChangeEstimator`.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class RateEstimator(ABC):
+    """Per-object estimator of a Poisson update rate."""
+
+    @abstractmethod
+    def observe_poll(self, poll_time: float, changed: bool,
+                     last_update_time: float | None,
+                     interval: float) -> None:
+        """Record one poll outcome.
+
+        ``interval`` is the time since the previous poll (or since tracking
+        began).  ``last_update_time`` is only available to CGM1.
+        """
+
+    @abstractmethod
+    def estimate(self) -> float | None:
+        """Current rate estimate, or ``None`` before any evidence."""
+
+    @property
+    @abstractmethod
+    def observations(self) -> int:
+        """Number of polls folded in."""
+
+
+class LastUpdateAgeEstimator(RateEstimator):
+    """CGM1: censored-exponential MLE from last-update ages."""
+
+    __slots__ = ("_changed", "_exposure", "smoothing")
+
+    def __init__(self, smoothing: float = 0.5) -> None:
+        self._changed = 0
+        self._exposure = 0.0
+        self.smoothing = smoothing
+
+    def observe_poll(self, poll_time: float, changed: bool,
+                     last_update_time: float | None,
+                     interval: float) -> None:
+        if interval <= 0:
+            return
+        if changed and last_update_time is not None:
+            age = poll_time - last_update_time
+            # The age is censored at the window; clamp against clock skew.
+            self._exposure += min(max(age, 0.0), interval)
+            self._changed += 1
+        else:
+            self._exposure += interval
+
+    def estimate(self) -> float | None:
+        if self._exposure <= 0.0:
+            return None
+        return (self._changed + self.smoothing) / self._exposure
+
+    @property
+    def observations(self) -> int:
+        return self._changed
+
+
+class BinaryChangeEstimator(RateEstimator):
+    """CGM2: bias-reduced estimator from boolean change observations."""
+
+    __slots__ = ("_polls", "_changed", "_interval_sum")
+
+    def __init__(self) -> None:
+        self._polls = 0
+        self._changed = 0
+        self._interval_sum = 0.0
+
+    def observe_poll(self, poll_time: float, changed: bool,
+                     last_update_time: float | None,
+                     interval: float) -> None:
+        if interval <= 0:
+            return
+        self._polls += 1
+        self._interval_sum += interval
+        if changed:
+            self._changed += 1
+
+    def estimate(self) -> float | None:
+        if self._polls == 0:
+            return None
+        mean_interval = self._interval_sum / self._polls
+        if mean_interval <= 0:
+            return None
+        # With zero observed changes the published estimator collapses to
+        # exactly 0, which would starve the object of polls forever; treat
+        # the evidence as "at most half a change" instead, which decays
+        # toward 0 as quiet polls accumulate but never reaches it.
+        changed = max(self._changed, 0.5)
+        ratio = (self._polls - changed + 0.5) / (self._polls + 0.5)
+        return -math.log(ratio) / mean_interval
+
+    @property
+    def observations(self) -> int:
+        return self._polls

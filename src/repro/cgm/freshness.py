@@ -1,0 +1,105 @@
+"""Freshness mathematics for the CGM baseline (Cho & Garcia-Molina 2000).
+
+For an object updated by a Poisson process with rate ``lambda`` and
+refreshed deterministically every ``I`` time units, the time-averaged
+freshness is::
+
+    F(lambda, I) = (1 - e^{-lambda I}) / (lambda I)
+
+and staleness is ``1 - F``.  The marginal-benefit function used by the
+Lagrange allocation (see :mod:`repro.cgm.allocation`) is::
+
+    g(lambda, I) = dS/dI * I^2 = (1 - e^{-x}(1 + x)) / lambda,  x = lambda I
+
+``g`` is strictly increasing in ``I`` from 0 to ``1/lambda``, which is the
+analytic root of CGM's famous result that the hottest objects should not be
+refreshed at all: once the Lagrange multiplier exceeds ``1/lambda_i``, no
+finite refresh interval can pay for itself.
+
+``phi(x) = 1 - e^{-x}(1 + x)`` is the Erlang-2 CDF; the allocation solver
+inverts it with vectorized bisection.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def freshness(rate: float | np.ndarray,
+              interval: float | np.ndarray) -> float | np.ndarray:
+    """Time-averaged freshness ``F(lambda, I)``; handles the x -> 0 limit."""
+    rate = np.asarray(rate, dtype=float)
+    interval = np.asarray(interval, dtype=float)
+    with np.errstate(invalid="ignore"):
+        x = rate * interval  # 0 * inf is resolved by the masks below
+    with np.errstate(divide="ignore", invalid="ignore"):
+        value = np.where(x > 1e-12, -np.expm1(-x) / np.where(x > 0, x, 1.0),
+                         1.0 - x / 2.0)
+    value = np.where(np.isinf(interval), 0.0, value)
+    value = np.where(rate == 0.0, 1.0, value)
+    if value.ndim == 0:
+        return float(value)
+    return value
+
+
+def staleness(rate: float | np.ndarray,
+              interval: float | np.ndarray) -> float | np.ndarray:
+    """Time-averaged staleness ``1 - F(lambda, I)``."""
+    return 1.0 - freshness(rate, interval)
+
+
+def staleness_at_frequency(rate: float | np.ndarray,
+                           frequency: float | np.ndarray
+                           ) -> float | np.ndarray:
+    """Staleness when refreshing ``frequency`` times per unit time.
+
+    ``frequency = 0`` means never refreshed: staleness 1 for any object
+    that ever changes, 0 for a frozen object.
+    """
+    rate = np.asarray(rate, dtype=float)
+    frequency = np.asarray(frequency, dtype=float)
+    with np.errstate(divide="ignore"):
+        interval = np.where(frequency > 0.0, 1.0 / np.where(
+            frequency > 0, frequency, 1.0), np.inf)
+    return staleness(rate, interval)
+
+
+def phi(x: np.ndarray) -> np.ndarray:
+    """``phi(x) = 1 - e^{-x}(1 + x)`` (Erlang-2 CDF), increasing 0 -> 1."""
+    x = np.asarray(x, dtype=float)
+    return 1.0 - np.exp(-x) * (1.0 + x)
+
+
+def phi_inverse(c: np.ndarray, tol: float = 1e-12,
+                max_iter: int = 200) -> np.ndarray:
+    """Invert ``phi`` by vectorized bisection; ``c`` must be in [0, 1)."""
+    c = np.asarray(c, dtype=float)
+    if ((c < 0) | (c >= 1)).any():
+        raise ValueError("phi_inverse arguments must lie in [0, 1)")
+    lo = np.zeros_like(c)
+    hi = np.ones_like(c)
+    # Grow the bracket until phi(hi) >= c everywhere.
+    for _ in range(200):
+        mask = phi(hi) < c
+        if not mask.any():
+            break
+        hi[mask] *= 2.0
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        below = phi(mid) < c
+        lo = np.where(below, mid, lo)
+        hi = np.where(below, hi, mid)
+        if float(np.max(hi - lo)) < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def marginal_benefit(rate: np.ndarray, interval: np.ndarray) -> np.ndarray:
+    """``g(lambda, I) = phi(lambda I) / lambda`` (see module docstring)."""
+    rate = np.asarray(rate, dtype=float)
+    interval = np.asarray(interval, dtype=float)
+    with np.errstate(invalid="ignore"):
+        out = np.where(rate > 0.0,
+                       phi(rate * interval) / np.where(rate > 0, rate, 1.0),
+                       0.0)
+    return out

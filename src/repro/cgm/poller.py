@@ -1,0 +1,80 @@
+"""Poll scheduling for the cache-driven baselines.
+
+Given a frequency allocation, each object is polled periodically at its
+frequency with a random initial phase (so polls spread out instead of
+thundering at t=0).  The scheduler keeps a due-time heap; the policy pops
+due objects each tick and reschedules them after a successful poll.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+
+class PollScheduler:
+    """Due-time heap over objects with positive poll frequencies.
+
+    Heap entries carry the allocation epoch they were scheduled under;
+    adopting a new allocation bumps the epoch, so stale entries from the
+    previous allocation are discarded lazily when popped.
+    """
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []  # (due, epoch, idx)
+        self._frequencies: np.ndarray | None = None
+        self._epoch = 0
+
+    @property
+    def frequencies(self) -> np.ndarray | None:
+        return self._frequencies
+
+    def set_frequencies(self, freqs: np.ndarray, now: float,
+                        rng: np.random.Generator) -> None:
+        """Adopt a new allocation; each object gets a random initial phase.
+
+        Entries from earlier allocations become stale (lazy invalidation).
+        """
+        freqs = np.asarray(freqs, dtype=float)
+        if (freqs < 0).any():
+            raise ValueError("frequencies must be nonnegative")
+        self._frequencies = freqs
+        self._epoch += 1
+        for index in np.nonzero(freqs > 0)[0]:
+            period = 1.0 / freqs[index]
+            due = now + float(rng.uniform(0.0, period))
+            self._push(int(index), due)
+
+    def _push(self, index: int, due: float) -> None:
+        heapq.heappush(self._heap, (due, self._epoch, index))
+
+    def due(self, now: float) -> list[int]:
+        """Pop every object whose poll time has arrived."""
+        ready: list[int] = []
+        while self._heap and self._heap[0][0] <= now:
+            _, epoch, index = heapq.heappop(self._heap)
+            if epoch != self._epoch:
+                continue  # superseded by a newer allocation
+            ready.append(index)
+        return ready
+
+    def reschedule(self, index: int, now: float,
+                   delay: float | None = None) -> None:
+        """Schedule the next poll of ``index``.
+
+        ``delay`` overrides the period (used to retry under congestion).
+        """
+        if self._frequencies is None:
+            raise RuntimeError("set_frequencies must be called first")
+        if delay is None:
+            frequency = float(self._frequencies[index])
+            if frequency <= 0:
+                return
+            delay = 1.0 / frequency
+        self._push(index, now + delay)
+
+    def pending(self) -> int:
+        """Number of live scheduled polls."""
+        return sum(1 for _, epoch, _ in self._heap
+                   if epoch == self._epoch)

@@ -1,0 +1,197 @@
+"""Command-line interface for running the paper's experiments.
+
+Usage (installed package)::
+
+    python -m repro e1                    # Sec 4.3 uniform validation
+    python -m repro e2                    # Sec 4.3 skewed validation
+    python -m repro e3 --alphas 1.1 1.2   # Sec 6.1 parameter study
+    python -m repro fig4 --measure 600
+    python -m repro fig5 --fluctuating
+    python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
+    python -m repro quickstart            # the README comparison
+
+Every subcommand prints the same rows/series the corresponding figure in
+the paper plots; ``--output FILE`` additionally archives the text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Sequence
+
+from repro.experiments.fig4 import Fig4Config, run_fig4
+from repro.experiments.fig5 import run_fig5
+from repro.experiments.fig6 import run_fig6
+from repro.experiments.params import best_cell, run_parameter_grid
+from repro.experiments.tables import (
+    render_fig4,
+    render_fig5,
+    render_fig6,
+    render_parameter_grid,
+    render_validation,
+)
+from repro.experiments.validation import (
+    run_skewed_validation,
+    run_uniform_validation,
+)
+
+
+def _add_timing(parser: argparse.ArgumentParser, warmup: float,
+                measure: float) -> None:
+    parser.add_argument("--warmup", type=float, default=warmup,
+                        help="warm-up seconds discarded from measurement")
+    parser.add_argument("--measure", type=float, default=measure,
+                        help="measured window length in seconds")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload random seed")
+
+
+def _cmd_e1(args: argparse.Namespace) -> str:
+    rows = run_uniform_validation(num_objects=args.objects, seed=args.seed,
+                                  warmup=args.warmup, measure=args.measure)
+    return render_validation(
+        rows, "E1 (Sec 4.3, uniform): paper claims < 10% difference")
+
+
+def _cmd_e2(args: argparse.Namespace) -> str:
+    rows = run_skewed_validation(seed=args.seed, warmup=args.warmup,
+                                 measure=args.measure)
+    return render_validation(
+        rows, "E2 (Sec 4.3, skewed): paper claims +64%/+74%/+84%")
+
+
+def _cmd_e3(args: argparse.Namespace) -> str:
+    cells = run_parameter_grid(alphas=tuple(args.alphas),
+                               omegas=tuple(args.omegas),
+                               num_sources=args.sources,
+                               objects_per_source=args.objects,
+                               warmup=args.warmup, measure=args.measure,
+                               seed=args.seed)
+    best = best_cell(cells)
+    return (render_parameter_grid(cells)
+            + f"\nbest setting: alpha={best.alpha}, omega={best.omega} "
+              f"(paper: alpha=1.1, omega=10)")
+
+
+def _cmd_fig4(args: argparse.Namespace) -> str:
+    config = Fig4Config(sources=tuple(args.sources),
+                        objects_per_source=tuple(args.objects),
+                        cache_bandwidths=tuple(args.cache_bandwidths),
+                        warmup=args.warmup, measure=args.measure,
+                        seed=args.seed)
+    return render_fig4(run_fig4(config))
+
+
+def _cmd_fig5(args: argparse.Namespace) -> str:
+    points = run_fig5(bandwidths=tuple(args.bandwidths),
+                      fluctuating=args.fluctuating, days=args.days,
+                      warmup_days=args.warmup_days, seed=args.seed,
+                      trace_csv=args.trace_csv)
+    label = "fluctuating" if args.fluctuating else "fixed"
+    return render_fig5(points, f"Figure 5 ({label} bandwidth, msgs/min)")
+
+
+def _cmd_fig6(args: argparse.Namespace) -> str:
+    points = run_fig6(num_sources=args.sources,
+                      objects_per_source=args.objects,
+                      fractions=tuple(args.fractions), seed=args.seed,
+                      warmup=args.warmup, measure=args.measure)
+    return render_fig6(points, f"Figure 6, m = {args.sources} sources")
+
+
+def _cmd_quickstart(args: argparse.Namespace) -> str:
+    import io
+    from contextlib import redirect_stdout
+
+    sys.path.insert(0, "examples")
+    buffer = io.StringIO()
+    try:
+        import quickstart  # noqa: F401  (examples/quickstart.py)
+        with redirect_stdout(buffer):
+            quickstart.main()
+    except ImportError:
+        return ("examples/quickstart.py not found; run from the "
+                "repository root")
+    finally:
+        sys.path.pop(0)
+    return buffer.getvalue().rstrip()
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from Olston & Widom, "
+                    "'Best-Effort Cache Synchronization with Source "
+                    "Cooperation' (SIGMOD 2002)")
+    parser.add_argument("--output", type=str, default=None,
+                        help="also write the result text to this file")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("e1", help="Sec 4.3 uniform validation")
+    p.add_argument("--objects", type=int, default=100)
+    _add_timing(p, warmup=100.0, measure=1000.0)
+    p.set_defaults(fn=_cmd_e1)
+
+    p = sub.add_parser("e2", help="Sec 4.3 skewed validation")
+    _add_timing(p, warmup=100.0, measure=1000.0)
+    p.set_defaults(fn=_cmd_e2)
+
+    p = sub.add_parser("e3", help="Sec 6.1 threshold parameter study")
+    p.add_argument("--alphas", type=float, nargs="+",
+                   default=[1.05, 1.1, 1.2, 1.5, 2.0])
+    p.add_argument("--omegas", type=float, nargs="+",
+                   default=[2.0, 5.0, 10.0, 20.0, 100.0])
+    p.add_argument("--sources", type=int, default=10)
+    p.add_argument("--objects", type=int, default=10)
+    _add_timing(p, warmup=100.0, measure=400.0)
+    p.set_defaults(fn=_cmd_e3)
+
+    p = sub.add_parser("fig4", help="Figure 4 sweep")
+    p.add_argument("--sources", type=int, nargs="+", default=[1, 10, 50])
+    p.add_argument("--objects", type=int, nargs="+", default=[1, 10])
+    p.add_argument("--cache-bandwidths", type=float, nargs="+",
+                   default=[10.0, 40.0, 100.0])
+    _add_timing(p, warmup=250.0, measure=600.0)
+    p.set_defaults(fn=_cmd_fig4)
+
+    p = sub.add_parser("fig5", help="Figure 5 buoy experiment")
+    p.add_argument("--bandwidths", type=float, nargs="+",
+                   default=[1, 2, 5, 10, 20, 40, 80])
+    p.add_argument("--fluctuating", action="store_true",
+                   help="fluctuate the link with the paper's mB = 0.25")
+    p.add_argument("--days", type=float, default=7.0)
+    p.add_argument("--warmup-days", type=float, default=1.0)
+    p.add_argument("--trace-csv", type=str, default=None,
+                   help="real buoy trace in time,object,value CSV form")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(fn=_cmd_fig5)
+
+    p = sub.add_parser("fig6", help="Figure 6 CGM comparison")
+    p.add_argument("--sources", type=int, default=10)
+    p.add_argument("--objects", type=int, default=10)
+    p.add_argument("--fractions", type=float, nargs="+",
+                   default=[0.1, 0.3, 0.5, 0.7, 0.9])
+    _add_timing(p, warmup=100.0, measure=500.0)
+    p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("quickstart", help="the README comparison")
+    p.set_defaults(fn=_cmd_quickstart)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    fn: Callable[[argparse.Namespace], str] = args.fn
+    text = fn(args)
+    print(text)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

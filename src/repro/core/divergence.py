@@ -1,0 +1,113 @@
+"""Divergence metrics (paper Sec 3.1).
+
+The divergence ``D(O, t)`` between a source object and its cached copy is
+zero immediately after a refresh and grows as unpropagated updates occur.
+Three metrics are defined by the paper, all implemented here behind one
+strategy interface so policies are metric-agnostic:
+
+1. **Staleness**: 0 if the cached value equals the source value, else 1.
+2. **Lag**: the number of updates the cached copy is behind.
+3. **Value deviation**: ``delta(V_source, V_cached)`` for any nonnegative
+   ``delta``; the default is absolute difference, which the paper notes is
+   "often suitable" for single numerical values such as stock prices or the
+   wind-speed components of the buoy data set.
+
+Metrics are pure functions of ``(source value, cached value, lag count)``;
+the incremental bookkeeping lives in :mod:`repro.core.objects`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+DeltaFunction = Callable[[float, float], float]
+
+
+def absolute_difference(v1: float, v2: float) -> float:
+    """The paper's default numeric deviation: ``|V1 - V2|``."""
+    return abs(v1 - v2)
+
+
+class DivergenceMetric(ABC):
+    """Strategy interface for computing instantaneous divergence."""
+
+    #: short machine-readable name used in configs and reports
+    name: str = "abstract"
+
+    @abstractmethod
+    def compute(self, source_value: float, cached_value: float,
+                lag_count: int) -> float:
+        """Divergence given the current source/cached values and lag count.
+
+        Must be nonnegative, and zero when the copies agree
+        (``lag_count == 0`` implies ``source_value == cached_value``).
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class Staleness(DivergenceMetric):
+    """Boolean staleness: 1 when the cached value differs from the source.
+
+    Note the paper defines staleness as ``1 - freshness`` via *value*
+    inequality, so a random walk that wanders back to the cached value makes
+    the copy fresh again even without a refresh.
+    """
+
+    name = "staleness"
+
+    def compute(self, source_value: float, cached_value: float,
+                lag_count: int) -> float:
+        return 1.0 if source_value != cached_value else 0.0
+
+
+class Lag(DivergenceMetric):
+    """Update-count lag: how many updates behind the cached copy is."""
+
+    name = "lag"
+
+    def compute(self, source_value: float, cached_value: float,
+                lag_count: int) -> float:
+        return float(lag_count)
+
+
+class ValueDeviation(DivergenceMetric):
+    """Application-specific value deviation ``delta(V_source, V_cached)``.
+
+    Parameters
+    ----------
+    delta:
+        Nonnegative difference function; defaults to absolute difference.
+    """
+
+    name = "deviation"
+
+    def __init__(self, delta: DeltaFunction = absolute_difference) -> None:
+        self.delta = delta
+
+    def compute(self, source_value: float, cached_value: float,
+                lag_count: int) -> float:
+        value = self.delta(source_value, cached_value)
+        if value < 0:
+            raise ValueError(
+                f"delta function returned a negative divergence: {value}")
+        return value
+
+
+_METRICS = {
+    "staleness": Staleness,
+    "lag": Lag,
+    "deviation": ValueDeviation,
+}
+
+
+def make_metric(name: str) -> DivergenceMetric:
+    """Instantiate a metric by name ('staleness', 'lag', 'deviation')."""
+    try:
+        return _METRICS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown divergence metric {name!r}; "
+            f"expected one of {sorted(_METRICS)}") from None

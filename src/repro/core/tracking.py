@@ -1,0 +1,79 @@
+"""Lazy max-heap priority tracking (paper Sec 8).
+
+"Sources can maintain a priority queue so that the highest-priority updated
+object can be located quickly whenever spare bandwidth becomes available."
+
+Priorities (for the non-time-varying functions) change only when an object
+is updated, so a *lazy* heap is exact: every priority change pushes a new
+entry stamped with a per-object version number, and stale entries are
+discarded on pop.  Objects whose priority is zero (freshly refreshed, or
+fresh under the staleness metric) are kept out of the heap entirely.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class PriorityTracker:
+    """Tracks ``index -> priority`` with O(log n) max extraction."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, int]] = []  # (-priority, ver, idx)
+        self._priority: dict[int, float] = {}
+        self._version: dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._priority)
+
+    def __contains__(self, index: int) -> bool:
+        return index in self._priority
+
+    def get(self, index: int) -> float:
+        """Current priority of ``index`` (0 when untracked)."""
+        return self._priority.get(index, 0.0)
+
+    def update(self, index: int, priority: float) -> None:
+        """Set the priority of ``index``; zero/negative removes it."""
+        version = self._version.get(index, 0) + 1
+        self._version[index] = version
+        if priority <= 0.0:
+            self._priority.pop(index, None)
+            return
+        self._priority[index] = priority
+        heapq.heappush(self._heap, (-priority, version, index))
+
+    def remove(self, index: int) -> None:
+        """Drop ``index`` from the queue (e.g. after refreshing it)."""
+        self._version[index] = self._version.get(index, 0) + 1
+        self._priority.pop(index, None)
+
+    def peek(self) -> tuple[int, float] | None:
+        """Highest-priority ``(index, priority)`` without removing it."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        neg_priority, _, index = self._heap[0]
+        return index, -neg_priority
+
+    def pop(self) -> tuple[int, float] | None:
+        """Remove and return the highest-priority ``(index, priority)``."""
+        self._discard_stale()
+        if not self._heap:
+            return None
+        neg_priority, _, index = heapq.heappop(self._heap)
+        self.remove(index)
+        return index, -neg_priority
+
+    def items(self) -> list[tuple[int, float]]:
+        """All tracked ``(index, priority)`` pairs (unsorted)."""
+        return list(self._priority.items())
+
+    def _discard_stale(self) -> None:
+        heap = self._heap
+        while heap:
+            neg_priority, version, index = heap[0]
+            if (self._version.get(index) == version
+                    and index in self._priority):
+                return
+            heapq.heappop(heap)

@@ -1,0 +1,163 @@
+"""Weight models (paper Sec 3.2).
+
+An object's refresh weight is ``W(O, t) = I(O, t) * P(O, t)`` --
+importance times popularity.  Both factors (and hence the product) may vary
+over time; the paper's experiments use "weights [that] vary over time
+following sine-wave patterns with randomly-assigned amplitudes and periods".
+
+Weight models are indexed by global object index and are vectorized:
+``weights(t)`` returns the full weight vector, which the metrics collector
+uses for exact piecewise integration, while schedulers query single weights
+at priority-computation time (consistent with the paper's
+``W(O, t) ~= W(O, t_now)`` approximation between refreshes).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class WeightModel(ABC):
+    """Time-varying nonnegative weights over ``n`` objects."""
+
+    def __init__(self, n: int) -> None:
+        if n <= 0:
+            raise ValueError(f"need at least one object, got n={n}")
+        self.n = n
+
+    @abstractmethod
+    def weight(self, index: int, t: float) -> float:
+        """Weight of object ``index`` at time ``t``."""
+
+    @abstractmethod
+    def weights(self, t: float) -> np.ndarray:
+        """Vector of all ``n`` weights at time ``t``."""
+
+
+class StaticWeights(WeightModel):
+    """Constant per-object weights (the ``I(O,t) = 1`` special case and the
+    skewed half-10/half-1 assignment of Sec 4.3)."""
+
+    def __init__(self, values: np.ndarray) -> None:
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 1:
+            raise ValueError("weights must be a 1-D array")
+        if (values < 0).any():
+            raise ValueError("weights must be nonnegative")
+        super().__init__(len(values))
+        self.values = values
+
+    @classmethod
+    def uniform(cls, n: int, value: float = 1.0) -> "StaticWeights":
+        return cls(np.full(n, float(value)))
+
+    def weight(self, index: int, t: float) -> float:
+        return float(self.values[index])
+
+    def weights(self, t: float) -> np.ndarray:
+        return self.values
+
+
+class SineWeights(WeightModel):
+    """Sinusoidally fluctuating weights.
+
+    ``w_i(t) = base_i * (1 + amp_i * sin(2 pi t / period_i + phase_i))``
+    with ``0 <= amp_i < 1`` so weights stay positive.
+    """
+
+    def __init__(self, base: np.ndarray, amplitude: np.ndarray,
+                 period: np.ndarray, phase: np.ndarray) -> None:
+        base = np.asarray(base, dtype=float)
+        amplitude = np.asarray(amplitude, dtype=float)
+        period = np.asarray(period, dtype=float)
+        phase = np.asarray(phase, dtype=float)
+        if not (base.shape == amplitude.shape == period.shape == phase.shape):
+            raise ValueError("all parameter arrays must share one shape")
+        if (base < 0).any():
+            raise ValueError("base weights must be nonnegative")
+        if ((amplitude < 0) | (amplitude >= 1)).any():
+            raise ValueError("amplitudes must be in [0, 1)")
+        if (period <= 0).any():
+            raise ValueError("periods must be positive")
+        super().__init__(len(base))
+        self.base = base
+        self.amplitude = amplitude
+        self.omega = 2.0 * np.pi / period
+        self.phase = phase
+
+    @classmethod
+    def random(cls, n: int, rng: np.random.Generator,
+               base_range: tuple[float, float] = (0.5, 2.0),
+               amplitude_range: tuple[float, float] = (0.0, 0.8),
+               period_range: tuple[float, float] = (50.0, 500.0)
+               ) -> "SineWeights":
+        """Randomly-assigned amplitudes and periods, as in the paper Sec 6."""
+        return cls(
+            base=rng.uniform(*base_range, size=n),
+            amplitude=rng.uniform(*amplitude_range, size=n),
+            period=rng.uniform(*period_range, size=n),
+            phase=rng.uniform(0.0, 2.0 * np.pi, size=n),
+        )
+
+    def weight(self, index: int, t: float) -> float:
+        return float(self.base[index]
+                     * (1.0 + self.amplitude[index]
+                        * np.sin(self.omega[index] * t + self.phase[index])))
+
+    def weights(self, t: float) -> np.ndarray:
+        return self.base * (1.0 + self.amplitude
+                            * np.sin(self.omega * t + self.phase))
+
+
+class CostAdjustedWeights(WeightModel):
+    """Weights divided by per-object refresh cost (paper Sec 10.1).
+
+    "Accounting for non-uniform cost in the priority function is a simple
+    matter of extending the weight to include a factor inversely
+    proportional to cost."  This model applies that factor so a twice-as-
+    expensive object must be twice as valuable per unit divergence to win
+    a refresh slot.  (The harder question the paper leaves open -- budget
+    admission when the top-priority object is larger than the remaining
+    bandwidth -- is out of scope here; all messages still cost one unit on
+    the wire.)
+    """
+
+    def __init__(self, base: WeightModel, costs: np.ndarray) -> None:
+        costs = np.asarray(costs, dtype=float)
+        if len(costs) != base.n:
+            raise ValueError(
+                f"expected {base.n} costs, got {len(costs)}")
+        if (costs <= 0).any():
+            raise ValueError("costs must be positive")
+        super().__init__(base.n)
+        self.base = base
+        self.costs = costs
+
+    def weight(self, index: int, t: float) -> float:
+        return self.base.weight(index, t) / float(self.costs[index])
+
+    def weights(self, t: float) -> np.ndarray:
+        return self.base.weights(t) / self.costs
+
+
+class ProductWeights(WeightModel):
+    """``W = I * P``: importance times popularity (paper Sec 3.2)."""
+
+    def __init__(self, importance: WeightModel,
+                 popularity: WeightModel) -> None:
+        if importance.n != popularity.n:
+            raise ValueError(
+                f"importance covers {importance.n} objects but popularity "
+                f"covers {popularity.n}")
+        super().__init__(importance.n)
+        self.importance = importance
+        self.popularity = popularity
+
+    def weight(self, index: int, t: float) -> float:
+        return (self.importance.weight(index, t)
+                * self.popularity.weight(index, t))
+
+    def weights(self, t: float) -> np.ndarray:
+        return self.importance.weights(t) * self.popularity.weights(t)

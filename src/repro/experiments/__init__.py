@@ -1,0 +1,50 @@
+"""Experiment harness: per-figure runners and shared configuration."""
+
+from repro.experiments.fig4 import Fig4Config, Fig4Point, run_fig4, series_by_metric
+from repro.experiments.fig5 import Fig5Point, run_fig5
+from repro.experiments.fig6 import (
+    Fig6Point,
+    run_fig6,
+    series_by_policy,
+)
+from repro.experiments.overhead import (
+    OverheadPoint,
+    predicted_overhead_fraction,
+    run_overhead_scaling,
+)
+from repro.experiments.params import (
+    ParameterCell,
+    best_cell,
+    run_parameter_grid,
+)
+from repro.experiments.runner import RunSpec, run_policy
+from repro.experiments.validation import (
+    ValidationRow,
+    run_size_sweep,
+    run_skewed_validation,
+    run_uniform_validation,
+)
+
+__all__ = [
+    "Fig4Config",
+    "Fig4Point",
+    "Fig5Point",
+    "Fig6Point",
+    "OverheadPoint",
+    "ParameterCell",
+    "RunSpec",
+    "ValidationRow",
+    "best_cell",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "predicted_overhead_fraction",
+    "run_overhead_scaling",
+    "run_parameter_grid",
+    "run_policy",
+    "run_size_sweep",
+    "run_skewed_validation",
+    "run_uniform_validation",
+    "series_by_metric",
+    "series_by_policy",
+]

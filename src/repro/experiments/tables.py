@@ -1,0 +1,72 @@
+"""Paper-style text rendering of experiment results.
+
+Each ``print_*`` helper returns the string it prints, so benchmarks can
+both show results live and archive them in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import Fig4Point, series_by_metric
+from repro.experiments.fig5 import Fig5Point
+from repro.experiments.fig6 import Fig6Point, series_by_policy
+from repro.experiments.params import ParameterCell
+from repro.experiments.validation import ValidationRow
+from repro.metrics.report import ascii_plot, format_series, format_table
+
+
+def render_validation(rows: list[ValidationRow], title: str) -> str:
+    return format_table(
+        ["metric", "n", "our priority", "simple D*W", "increase %"],
+        [[row.metric, row.num_objects, row.our_divergence,
+          row.simple_divergence, row.increase_pct] for row in rows],
+        title=title)
+
+
+def render_parameter_grid(cells: list[ParameterCell]) -> str:
+    return format_table(
+        ["alpha", "omega", "divergence", "vs best"],
+        [[cell.alpha, cell.omega, cell.divergence,
+          f"{cell.normalized:.3f}x"] for cell in cells],
+        title="Sec 6.1 threshold parameter study")
+
+
+def render_fig4(points: list[Fig4Point]) -> str:
+    blocks = ["Figure 4: ratio of actual to ideal divergence "
+              "(x = theoretically achievable divergence)"]
+    for metric, series in series_by_metric(points).items():
+        xs = [x for x, _ in series]
+        ys = [y for _, y in series]
+        blocks.append(format_series(f"{metric} metric", xs, ys,
+                                    x_label="ideal divergence",
+                                    y_label="ratio"))
+    return "\n".join(blocks)
+
+
+def render_fig5(points: list[Fig5Point], title: str) -> str:
+    table = format_table(
+        ["bandwidth (msgs/min)", "ideal scenario", "our algorithm"],
+        [[p.bandwidth_per_minute, p.ideal_divergence, p.actual_divergence]
+         for p in points],
+        title=title)
+    plot = ascii_plot(
+        {"ideal": [(p.bandwidth_per_minute, p.ideal_divergence)
+                   for p in points],
+         "ours": [(p.bandwidth_per_minute, p.actual_divergence)
+                  for p in points]},
+        x_label="bandwidth", y_label="avg deviation")
+    return table + "\n" + plot
+
+
+def render_fig6(points: list[Fig6Point], title: str) -> str:
+    if not points:
+        return title + "\n(no points)"
+    names = list(points[0].staleness)
+    table = format_table(
+        ["fraction"] + names,
+        [[p.bandwidth_fraction] + [p.staleness[n] for n in names]
+         for p in points],
+        title=title)
+    plot = ascii_plot(
+        {name: curve for name, curve in series_by_policy(points).items()},
+        x_label="bandwidth fraction", y_label="staleness")
+    return table + "\n" + plot

@@ -1,0 +1,20 @@
+"""Measurement: divergence integration, counters, result reporting."""
+
+from repro.metrics.accumulators import Counter, TimeAverager
+from repro.metrics.collector import DivergenceCollector
+from repro.metrics.report import (
+    RunResult,
+    ascii_plot,
+    format_series,
+    format_table,
+)
+
+__all__ = [
+    "Counter",
+    "DivergenceCollector",
+    "RunResult",
+    "TimeAverager",
+    "ascii_plot",
+    "format_series",
+    "format_table",
+]

@@ -1,0 +1,106 @@
+"""Result records and plain-text table/series formatting.
+
+Benchmarks print the same rows/series the paper's figures plot; these
+helpers keep that output consistent and readable in a terminal log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass
+class RunResult:
+    """Outcome of one simulation run (one policy on one workload)."""
+
+    policy: str
+    metric: str
+    num_sources: int
+    num_objects: int
+    duration: float  #: measured (post-warm-up) window length
+    weighted_divergence: float  #: mean per-object weighted divergence
+    unweighted_divergence: float  #: mean per-object unweighted divergence
+    refreshes: int = 0  #: refresh messages applied at the cache
+    feedback_messages: int = 0
+    poll_messages: int = 0  #: poll round-trip messages (CGM baselines)
+    messages_total: int = 0  #: all messages that crossed the cache link
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of cache-link messages that were coordination overhead."""
+        if self.messages_total <= 0:
+            return 0.0
+        overhead = self.feedback_messages + self.poll_messages
+        return overhead / self.messages_total
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 title: str | None = None,
+                 precision: int = 4) -> str:
+    """Render an ASCII table with right-aligned numeric columns."""
+
+    def cell(value: object) -> str:
+        if isinstance(value, float):
+            return f"{value:.{precision}g}"
+        return str(value)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, value in enumerate(row):
+            widths[i] = max(widths[i], len(value))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(v.rjust(widths[i]) for i, v in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(name: str, xs: Sequence[float],
+                  ys: Sequence[float], x_label: str = "x",
+                  y_label: str = "y", precision: int = 4) -> str:
+    """Render one figure series as labelled (x, y) pairs."""
+    pairs = ", ".join(
+        f"({x:.{precision}g}, {y:.{precision}g})" for x, y in zip(xs, ys))
+    return f"{name} [{x_label} -> {y_label}]: {pairs}"
+
+
+def ascii_plot(series: dict[str, list[tuple[float, float]]],
+               width: int = 72, height: int = 18,
+               x_label: str = "x", y_label: str = "y") -> str:
+    """A rough ASCII scatter plot of several named series.
+
+    Good enough to eyeball the *shape* the paper's figures show (who wins,
+    where curves cross) directly in benchmark logs.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts]
+    if not points:
+        return "(no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    x_span = (x_hi - x_lo) or 1.0
+    y_span = (y_hi - y_lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    markers = "ox+*#@%&"
+    legend = []
+    for k, (name, pts) in enumerate(series.items()):
+        mark = markers[k % len(markers)]
+        legend.append(f"{mark} = {name}")
+        for x, y in pts:
+            col = int((x - x_lo) / x_span * (width - 1))
+            row = height - 1 - int((y - y_lo) / y_span * (height - 1))
+            grid[row][col] = mark
+    lines = [f"{y_label} in [{y_lo:.4g}, {y_hi:.4g}]  "
+             f"{x_label} in [{x_lo:.4g}, {x_hi:.4g}]"]
+    lines.extend("|" + "".join(row) for row in grid)
+    lines.append("+" + "-" * width)
+    lines.append("  ".join(legend))
+    return "\n".join(lines)

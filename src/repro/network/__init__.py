@@ -1,0 +1,37 @@
+"""Network substrate: bandwidth profiles, links, star topology, messages."""
+
+from repro.network.bandwidth import (
+    BandwidthProfile,
+    TraceBandwidth,
+    ConstantBandwidth,
+    SineBandwidth,
+    make_bandwidth,
+)
+from repro.network.link import Link
+from repro.network.messages import (
+    MESSAGE_SIZE,
+    BatchRefreshMessage,
+    FeedbackMessage,
+    Message,
+    PollRequest,
+    PollResponse,
+    RefreshMessage,
+)
+from repro.network.topology import StarTopology
+
+__all__ = [
+    "MESSAGE_SIZE",
+    "BandwidthProfile",
+    "BatchRefreshMessage",
+    "ConstantBandwidth",
+    "FeedbackMessage",
+    "Link",
+    "Message",
+    "PollRequest",
+    "PollResponse",
+    "RefreshMessage",
+    "SineBandwidth",
+    "StarTopology",
+    "TraceBandwidth",
+    "make_bandwidth",
+]

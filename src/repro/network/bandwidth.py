@@ -1,0 +1,192 @@
+"""Time-varying bandwidth profiles.
+
+The paper's simulator lets "available cache-side and source-side bandwidth
+fluctuate over time following a sine wave pattern", with average bandwidth
+``B`` and a *maximum rate of bandwidth change* knob ``mB`` ("when mB = 0,
+the amount of available bandwidth remains constant").
+
+We model that as::
+
+    C(t) = B * (1 + A * sin(2 pi t / P + phi))
+
+where the amplitude ``A`` defaults to 0.5 (bandwidth swings between 0.5x and
+1.5x its mean) and the period ``P`` is derived so that the peak *relative*
+change rate ``max |C'(t)| / B = A * 2 pi / P`` equals ``mB``.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class BandwidthProfile(ABC):
+    """Instantaneous capacity ``rate(t)`` and its integral over an interval."""
+
+    @abstractmethod
+    def rate(self, t: float) -> float:
+        """Capacity in messages per time unit at time ``t`` (>= 0)."""
+
+    @abstractmethod
+    def capacity(self, t0: float, t1: float) -> float:
+        """Messages transmittable during ``[t0, t1]`` (the integral of rate)."""
+
+    @property
+    @abstractmethod
+    def mean_rate(self) -> float:
+        """Long-run average capacity, used e.g. for feedback-period estimates."""
+
+
+class ConstantBandwidth(BandwidthProfile):
+    """Fixed capacity: ``rate(t) = B`` for all ``t``."""
+
+    def __init__(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError(f"bandwidth must be >= 0, got {rate}")
+        self._rate = float(rate)
+
+    def rate(self, t: float) -> float:
+        return self._rate
+
+    def capacity(self, t0: float, t1: float) -> float:
+        return self._rate * (t1 - t0)
+
+    @property
+    def mean_rate(self) -> float:
+        return self._rate
+
+    def __repr__(self) -> str:
+        return f"ConstantBandwidth({self._rate!r})"
+
+
+class SineBandwidth(BandwidthProfile):
+    """Sinusoidally fluctuating capacity with the paper's ``mB`` knob.
+
+    Parameters
+    ----------
+    mean:
+        Average capacity ``B`` (the paper's ``BC`` / ``BS``).
+    max_change_rate:
+        The paper's ``mB``: peak of ``|dC/dt| / B``.  Zero degenerates to a
+        constant profile.
+    amplitude:
+        Relative swing ``A`` in ``[0, 1)``; default 0.5.
+    phase:
+        Phase offset in radians, so that different links can fluctuate out
+        of step with each other.
+    """
+
+    def __init__(self, mean: float, max_change_rate: float,
+                 amplitude: float = 0.5, phase: float = 0.0) -> None:
+        if mean < 0:
+            raise ValueError(f"mean bandwidth must be >= 0, got {mean}")
+        if not 0 <= amplitude < 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {amplitude}")
+        if max_change_rate < 0:
+            raise ValueError(f"mB must be >= 0, got {max_change_rate}")
+        self.mean = float(mean)
+        self.amplitude = float(amplitude)
+        self.max_change_rate = float(max_change_rate)
+        self.phase = float(phase)
+        if max_change_rate == 0 or amplitude == 0:
+            self.period = math.inf
+            self._omega = 0.0
+        else:
+            # max |C'(t)| / mean = amplitude * omega  =>  omega = mB / A
+            self._omega = max_change_rate / amplitude
+            self.period = 2 * math.pi / self._omega
+
+    def rate(self, t: float) -> float:
+        if self._omega == 0.0:
+            return self.mean
+        return self.mean * (1.0 + self.amplitude
+                            * math.sin(self._omega * t + self.phase))
+
+    def capacity(self, t0: float, t1: float) -> float:
+        if self._omega == 0.0:
+            return self.mean * (t1 - t0)
+        # Closed-form integral of the sine profile.
+        w = self._omega
+        anti0 = -math.cos(w * t0 + self.phase) / w
+        anti1 = -math.cos(w * t1 + self.phase) / w
+        return self.mean * ((t1 - t0) + self.amplitude * (anti1 - anti0))
+
+    @property
+    def mean_rate(self) -> float:
+        return self.mean
+
+    def __repr__(self) -> str:
+        return (f"SineBandwidth(mean={self.mean!r}, "
+                f"mB={self.max_change_rate!r}, amplitude={self.amplitude!r})")
+
+
+class TraceBandwidth(BandwidthProfile):
+    """Piecewise-constant capacity driven by explicit breakpoints.
+
+    Useful for scripted scenarios the analytic profiles cannot express:
+    link outages, congestion from a bursty co-tenant, diurnal patterns
+    from a measured trace.  ``rate(t)`` holds each value from its
+    breakpoint until the next; before the first breakpoint the first value
+    applies, after the last breakpoint the last value applies.
+    """
+
+    def __init__(self, times, rates) -> None:
+        self.times = np.asarray(times, dtype=float)
+        self.rates = np.asarray(rates, dtype=float)
+        if self.times.ndim != 1 or self.times.shape != self.rates.shape:
+            raise ValueError("times and rates must be equal-length 1-D")
+        if len(self.times) == 0:
+            raise ValueError("need at least one breakpoint")
+        if (np.diff(self.times) <= 0).any():
+            raise ValueError("breakpoint times must be strictly increasing")
+        if (self.rates < 0).any():
+            raise ValueError("rates must be nonnegative")
+
+    def rate(self, t: float) -> float:
+        index = int(np.searchsorted(self.times, t, side="right")) - 1
+        index = max(0, index)
+        return float(self.rates[index])
+
+    def capacity(self, t0: float, t1: float) -> float:
+        if t1 <= t0:
+            return 0.0
+        # Integrate the step function across the breakpoints in [t0, t1].
+        cuts = self.times[(self.times > t0) & (self.times < t1)]
+        edges = np.concatenate([[t0], cuts, [t1]])
+        total = 0.0
+        for lo, hi in zip(edges[:-1], edges[1:]):
+            total += self.rate(lo) * (hi - lo)
+        return total
+
+    @property
+    def mean_rate(self) -> float:
+        if len(self.rates) == 1:
+            return float(self.rates[0])
+        spans = np.diff(self.times)
+        weighted = float(np.sum(self.rates[:-1] * spans))
+        return weighted / float(self.times[-1] - self.times[0])
+
+    @classmethod
+    def with_outage(cls, rate: float, outage_start: float,
+                    outage_end: float) -> "TraceBandwidth":
+        """A constant-rate link with one total outage window."""
+        if outage_end <= outage_start:
+            raise ValueError("outage must have positive duration")
+        return cls(times=[0.0, outage_start, outage_end],
+                   rates=[rate, 0.0, rate])
+
+    def __repr__(self) -> str:
+        return (f"TraceBandwidth({len(self.times)} breakpoints, "
+                f"mean={self.mean_rate:.4g})")
+
+
+def make_bandwidth(mean: float, max_change_rate: float = 0.0,
+                   amplitude: float = 0.5,
+                   phase: float = 0.0) -> BandwidthProfile:
+    """Build a profile from the paper's ``(B, mB)`` parameterization."""
+    if max_change_rate == 0.0:
+        return ConstantBandwidth(mean)
+    return SineBandwidth(mean, max_change_rate, amplitude=amplitude,
+                         phase=phase)

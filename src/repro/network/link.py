@@ -1,0 +1,179 @@
+"""Capacity-constrained links with FIFO overflow queues.
+
+The paper assumes "a standard underlying network model where any messages
+for which there is not enough capacity become enqueued for later
+transmission."  A :class:`Link` implements that as a continuous token
+bucket:
+
+* capacity accrues continuously (``accrue``), so a message sent mid-tick
+  can use the capacity earned since the last tick boundary -- the paper
+  neglects propagation latency, and making senders wait for the next tick
+  boundary would add artificial delay precisely at high load;
+* once per tick (:meth:`refill`, driven by the NETWORK phase) the bucket's
+  carry-over is capped at roughly one tick's capacity, so idle links cannot
+  bank unbounded bursts, and the tick's utilization telemetry resets;
+* :meth:`drain` pops queued messages FIFO while credit remains;
+* senders either :meth:`try_send` (refuse when no credit -- sources
+  self-pace, their priority queue is the send queue per paper Sec 8) or
+  :meth:`transmit_or_queue` (deliver now if possible, else join the FIFO
+  queue -- the shared cache link, where congestion is supposed to happen).
+
+Utilization over the last tick is tracked so the cache's feedback
+controller can detect surplus bandwidth (Sec 5).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.network.bandwidth import BandwidthProfile
+from repro.network.messages import Message
+
+DeliveryCallback = Callable[[Message], None]
+
+
+class Link:
+    """A continuous-token-bucket message pipe with a FIFO overflow queue.
+
+    One credit bucket is shared by both directions, matching the paper's
+    buoy experiment where "the maximum total number of messages transmitted
+    per minute over the satellite link" is constrained regardless of
+    direction.
+    """
+
+    def __init__(self, name: str, profile: BandwidthProfile,
+                 deliver: DeliveryCallback | None = None) -> None:
+        self.name = name
+        self.profile = profile
+        self.deliver = deliver
+        self.credit = 0.0
+        self.queue: deque[Message] = deque()
+        self._last_accrue = 0.0
+        self._tick_added = 0.0
+        # Telemetry for the current tick and cumulative counters.
+        self.tick_capacity = 0.0
+        self.tick_used = 0.0
+        self.total_sent = 0
+        self.total_delivered = 0
+        self.total_queued_peak = 0
+
+    # ------------------------------------------------------------------
+    # Credit management
+    # ------------------------------------------------------------------
+    def accrue(self, now: float) -> None:
+        """Fold in capacity earned since the last accrual."""
+        if now <= self._last_accrue:
+            return
+        added = self.profile.capacity(self._last_accrue, now)
+        self._last_accrue = now
+        self.credit += added
+        self._tick_added += added
+
+    def refill(self, now: float) -> None:
+        """Per-tick boundary: cap banked credit, reset tick telemetry."""
+        self.accrue(now)
+        tick_capacity = self._tick_added
+        # Carry over at most ~one tick of unused credit; this permits
+        # fractional capacities (0.5 msgs/tick sends one message every
+        # other tick) without allowing unbounded bursts after idle spells.
+        self.credit = min(self.credit, max(1.0, tick_capacity) + tick_capacity)
+        self.tick_capacity = tick_capacity
+        self.tick_used = 0.0
+        self._tick_added = 0.0
+
+    def has_credit(self, size: float = 1.0) -> bool:
+        return self.credit >= size
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def try_send(self, message: Message) -> bool:
+        """Consume credit and deliver immediately; False if no credit.
+
+        Used by self-pacing senders (sources).  Delivery is synchronous
+        because the paper neglects propagation latency; the *queueing*
+        latency of the shared cache link is modelled by
+        :meth:`transmit_or_queue`.
+        """
+        self.accrue(message.sent_at)
+        if self.queue or not self.has_credit(message.size):
+            return False
+        self._consume(message.size)
+        self.total_sent += 1
+        self.total_delivered += 1
+        if self.deliver is not None:
+            self.deliver(message)
+        return True
+
+    def enqueue(self, message: Message) -> None:
+        """Accept a message unconditionally; it transmits as credit allows."""
+        self.queue.append(message)
+        self.total_sent += 1
+        if len(self.queue) > self.total_queued_peak:
+            self.total_queued_peak = len(self.queue)
+
+    def transmit_or_queue(self, message: Message) -> bool:
+        """Deliver immediately if capacity allows, otherwise queue.
+
+        The paper neglects propagation latency, so an uncongested link
+        delivers in-tick; only messages "for which there is not enough
+        capacity become enqueued for later transmission".  Returns True
+        when the message was delivered immediately.
+        """
+        self.accrue(message.sent_at)
+        if self.queue:
+            self.drain()
+        if not self.queue and self.has_credit(message.size):
+            self._consume(message.size)
+            self.total_sent += 1
+            self.total_delivered += 1
+            if self.deliver is not None:
+                self.deliver(message)
+            return True
+        self.enqueue(message)
+        return False
+
+    def drain(self) -> int:
+        """Transmit queued messages FIFO while credit lasts; return count."""
+        delivered = 0
+        while self.queue and self.has_credit(self.queue[0].size):
+            message = self.queue.popleft()
+            self._consume(message.size)
+            delivered += 1
+            self.total_delivered += 1
+            if self.deliver is not None:
+                self.deliver(message)
+        return delivered
+
+    def _consume(self, size: float) -> None:
+        self.credit -= size
+        self.tick_used += size
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @property
+    def queued(self) -> int:
+        """Number of messages currently waiting for capacity."""
+        return len(self.queue)
+
+    def surplus(self) -> float:
+        """Leftover credit after this tick's drain (0 when backlogged).
+
+        The cache's feedback controller treats a positive surplus with an
+        empty queue as "bandwidth underutilized" (Sec 5).
+        """
+        if self.queue:
+            return 0.0
+        return self.credit
+
+    def utilization(self) -> float:
+        """Fraction of this tick's capacity actually used (0 when idle)."""
+        if self.tick_capacity <= 0:
+            return 0.0
+        return min(1.0, self.tick_used / self.tick_capacity)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Link {self.name} credit={self.credit:.2f} "
+                f"queued={len(self.queue)}>")

@@ -1,0 +1,89 @@
+"""Message types exchanged between sources and the cache.
+
+Every message has size 1 (the paper: "all messages have the same size, and
+each message requires 1 unit of bandwidth"), so links account capacity in
+whole messages.  The dataclasses carry exactly the payload the corresponding
+protocol step needs:
+
+* :class:`RefreshMessage` -- a source pushes the current value of one object
+  to the cache, piggybacking its local refresh threshold (Sec 5: "each
+  source can piggyback its current local threshold in refresh messages").
+* :class:`FeedbackMessage` -- the cache's *positive feedback* asking one
+  source to lower its threshold (Sec 5).
+* :class:`PollRequest` / :class:`PollResponse` -- the round-trip used by the
+  cache-driven CGM baselines (Sec 6.3), where the response reports the
+  current value plus whatever change-tracking information the estimator
+  variant is allowed to see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+#: Bandwidth cost of any message, in link-capacity units.
+MESSAGE_SIZE = 1.0
+
+
+@dataclass(slots=True)
+class Message:
+    """Base class: common routing fields."""
+
+    source_id: int  #: id of the source endpoint of this message's flow
+    sent_at: float = field(default=0.0, kw_only=True)
+
+    @property
+    def size(self) -> float:
+        return MESSAGE_SIZE
+
+
+@dataclass(slots=True)
+class RefreshMessage(Message):
+    """Source -> cache: new value for one object."""
+
+    object_index: int = 0  #: global object index
+    value: float = 0.0  #: source value snapshot at send time
+    threshold: float = float("inf")  #: piggybacked local refresh threshold
+    update_count: int = 0  #: source's cumulative update counter at send time
+
+
+@dataclass(slots=True)
+class BatchRefreshMessage(Message):
+    """Source -> cache: several object refreshes packaged into one message.
+
+    Implements the paper's Sec 10.1 bandwidth-amortization idea: the batch
+    costs one bandwidth unit regardless of how many items it carries, at
+    the price of artificially delaying the earliest items while the batch
+    fills.  ``items`` holds ``(object_index, value, update_count)``
+    snapshots taken at each item's enqueue time.
+    """
+
+    items: list[tuple[int, float, int]] = field(default_factory=list)
+    threshold: float = float("inf")  #: piggybacked local refresh threshold
+
+
+@dataclass(slots=True)
+class FeedbackMessage(Message):
+    """Cache -> source: positive feedback (please refresh more)."""
+
+
+@dataclass(slots=True)
+class PollRequest(Message):
+    """Cache -> source: CGM polling request for one object."""
+
+    object_index: int = 0
+
+
+@dataclass(slots=True)
+class PollResponse(Message):
+    """Source -> cache: CGM polling response.
+
+    ``last_update_time`` is only populated for the CGM1 variant, where the
+    source tracks the time of the most recent update (Sec 6.3).  CGM2 only
+    learns the boolean ``changed``.
+    """
+
+    object_index: int = 0
+    value: float = 0.0
+    update_count: int = 0  #: source's cumulative update counter at send time
+    changed: bool = False
+    last_update_time: float | None = None

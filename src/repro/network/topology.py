@@ -1,0 +1,121 @@
+"""The paper's star topology: m source links feeding one shared cache link.
+
+Routing rules (see DESIGN.md Sec 4):
+
+* **Upstream** (source -> cache: refreshes, poll responses): the message
+  first consumes credit on the sending source's link (`try_send`), then is
+  *enqueued* on the shared cache link, whose FIFO queue is where congestion
+  and queueing delay materialize.  Delivery to the cache happens when the
+  cache link drains.
+* **Downstream** (cache -> source: positive feedback, poll requests): the
+  message consumes cache-link credit and is delivered to the source with
+  negligible latency.  The cooperative policy only sends feedback out of
+  *surplus* credit, so feedback never queues behind refreshes, matching the
+  paper's flood-avoidance argument.
+
+The topology is policy-agnostic: receivers are registered as callbacks.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.network.bandwidth import BandwidthProfile
+from repro.network.link import Link
+from repro.network.messages import Message
+
+
+class StarTopology:
+    """One shared cache link plus one link per source."""
+
+    def __init__(self, cache_profile: BandwidthProfile,
+                 source_profiles: list[BandwidthProfile]) -> None:
+        self.cache_link = Link("cache", cache_profile,
+                               deliver=self._deliver_to_cache)
+        self.source_links = [
+            Link(f"source-{j}", profile)
+            for j, profile in enumerate(source_profiles)
+        ]
+        self._cache_receiver: Callable[[Message], None] | None = None
+        self._source_receivers: list[Callable[[Message], None] | None] = (
+            [None] * len(source_profiles))
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @property
+    def num_sources(self) -> int:
+        return len(self.source_links)
+
+    def set_cache_receiver(self, receiver: Callable[[Message], None]) -> None:
+        self._cache_receiver = receiver
+
+    def set_source_receiver(self, source_id: int,
+                            receiver: Callable[[Message], None]) -> None:
+        self._source_receivers[source_id] = receiver
+
+    # ------------------------------------------------------------------
+    # Per-tick network phase
+    # ------------------------------------------------------------------
+    def on_network_tick(self, now: float) -> None:
+        """Refill every link and drain the shared cache link."""
+        for link in self.source_links:
+            link.refill(now)
+        self.cache_link.refill(now)
+        self.cache_link.drain()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_upstream(self, message: Message) -> bool:
+        """Source -> cache.  Returns False if the source link lacks credit."""
+        source_link = self.source_links[message.source_id]
+        source_link.accrue(message.sent_at)
+        if not source_link.has_credit(message.size) or source_link.queue:
+            return False
+        source_link._consume(message.size)
+        source_link.total_sent += 1
+        source_link.total_delivered += 1
+        self.cache_link.transmit_or_queue(message)
+        return True
+
+    def send_upstream_unconstrained(self, message: Message) -> None:
+        """Source -> cache ignoring source-side limits.
+
+        Figure 6's CGM comparison states "the polling model used in the CGM
+        approach assumes no limitations on source-side bandwidth", so poll
+        responses bypass the source link.
+        """
+        self.cache_link.transmit_or_queue(message)
+
+    def send_downstream(self, message: Message) -> bool:
+        """Cache -> source.  Consumes cache credit; immediate delivery."""
+        self.cache_link.accrue(message.sent_at)
+        if not self.cache_link.has_credit(message.size):
+            return False
+        self.cache_link._consume(message.size)
+        self.cache_link.total_sent += 1
+        self.cache_link.total_delivered += 1
+        receiver = self._source_receivers[message.source_id]
+        if receiver is not None:
+            receiver(message)
+        return True
+
+    # ------------------------------------------------------------------
+    # Internal delivery
+    # ------------------------------------------------------------------
+    def _deliver_to_cache(self, message: Message) -> None:
+        if self._cache_receiver is not None:
+            self._cache_receiver(message)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def source_at_capacity(self, source_id: int) -> bool:
+        """True when the source spent all its credit this tick (footnote 3)."""
+        return not self.source_links[source_id].has_credit()
+
+    def total_messages(self) -> int:
+        """All messages accepted anywhere in the network so far."""
+        return (self.cache_link.total_sent
+                + sum(link.total_sent for link in self.source_links))

@@ -1,0 +1,23 @@
+"""Synchronization scheduling policies."""
+
+from repro.policies.base import SimulationContext, SyncPolicy
+from repro.policies.bounded import BoundMeter, assign_max_rates
+from repro.policies.cache_driven import (
+    CGMPollingPolicy,
+    IdealCacheBasedPolicy,
+)
+from repro.policies.competitive import CompetitivePolicy
+from repro.policies.cooperative import CooperativePolicy
+from repro.policies.ideal import IdealCooperativePolicy
+
+__all__ = [
+    "BoundMeter",
+    "CGMPollingPolicy",
+    "CompetitivePolicy",
+    "CooperativePolicy",
+    "IdealCacheBasedPolicy",
+    "IdealCooperativePolicy",
+    "SimulationContext",
+    "SyncPolicy",
+    "assign_max_rates",
+]

@@ -1,0 +1,180 @@
+"""Cooperation in competitive environments (paper Sec 7).
+
+When sources and the cache disagree on refresh priorities (different
+divergence functions or weights), the cache dedicates a fraction ``Psi`` of
+its bandwidth to satisfying *source* priorities and ``1 - Psi`` to its own.
+The paper sketches three ways to divide the source share:
+
+1. ``"equal"`` -- every source gets the same slice of ``Psi * C``.
+2. ``"proportional"`` -- slices proportional to each source's number of
+   cached objects (identical to option 1 when all sources have equal n).
+3. ``"contribution"`` -- no fixed slices; instead, for every refresh a
+   source earns under the cache's threshold policy it may piggyback
+   ``Psi / (1 - Psi)`` refreshes of its own choosing, so sources that serve
+   the cache's objectives well earn proportionally more autonomy.
+
+Implementation: the cache-priority flow is the ordinary
+:class:`CooperativePolicy` threshold algorithm using the cache's weight
+model (``workload.weights``).  Source-priority sends are paced separately
+(token buckets for options 1-2, an earned-credit counter for option 3) and
+pick the top object under the *source's own* weight model; they are
+ordinary refresh messages on the same constrained links, so the adaptive
+threshold algorithm automatically shrinks the cache-priority flow into the
+remaining ``(1 - Psi)`` of the bandwidth.
+
+Both objectives are measured: the context collector uses the cache's
+weights, and this policy maintains a second collector under the sources'
+weights, so experiments can plot the Psi trade-off curve.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.objects import DataObject
+from repro.core.priority import PriorityFunction
+from repro.core.tracking import PriorityTracker
+from repro.core.weights import WeightModel
+from repro.metrics.collector import DivergenceCollector
+from repro.policies.base import SimulationContext
+from repro.policies.cooperative import CooperativePolicy
+from repro.sim.events import Phase
+
+
+class CompetitivePolicy(CooperativePolicy):
+    """Psi-split bandwidth sharing between cache and source priorities."""
+
+    name = "competitive"
+
+    def __init__(self, *args, source_weights: WeightModel,
+                 psi: float = 0.25, option: str = "equal",
+                 source_priority_fn: PriorityFunction | None = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if not 0.0 <= psi < 1.0:
+            raise ValueError(f"psi must be in [0, 1), got {psi}")
+        if option not in ("equal", "proportional", "contribution"):
+            raise ValueError(f"unknown split option {option!r}")
+        self.source_weights = source_weights
+        self.psi = psi
+        self.option = option
+        self.source_priority_fn = source_priority_fn or self.priority_fn
+        self.own_refreshes_sent = 0
+        self._own_trackers: list[PriorityTracker] = []
+        self._own_credit: list[float] = []
+        self._own_rate: list[float] = []
+        self.source_collector: DivergenceCollector | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, ctx: SimulationContext) -> None:
+        super().attach(ctx)
+        workload = ctx.workload
+        if self.source_weights.n != workload.num_objects:
+            raise ValueError(
+                f"source weight model covers {self.source_weights.n} "
+                f"objects, expected {workload.num_objects}")
+        m = workload.num_sources
+        self._own_trackers = [PriorityTracker() for _ in range(m)]
+        self._own_credit = [0.0] * m
+        self._own_rate = self._allocate_rates(workload)
+        self.source_collector = DivergenceCollector(
+            workload.num_objects, self.source_weights, warmup=ctx.warmup)
+        ctx.add_update_hook(self._on_update_competitive)
+        assert self.cache is not None
+        self.cache.add_refresh_hook(self._on_refresh_applied)
+        for source in self.sources:
+            source.send_hooks.append(self._on_refresh_sent)
+        ctx.sim.every(ctx.dt, self._own_sends_tick, phase=Phase.SOURCES)
+
+    def _allocate_rates(self, workload) -> list[float]:
+        """Per-source own-priority send rates for options 1 and 2."""
+        total = self.psi * self.cache_bandwidth.mean_rate
+        m = workload.num_sources
+        if self.option == "equal":
+            return [total / m] * m
+        if self.option == "proportional":
+            per_source = workload.objects_per_source
+            counts = [per_source] * m
+            total_objects = sum(counts)
+            return [total * c / total_objects for c in counts]
+        return [0.0] * m  # contribution: earned, not allocated
+
+    # ------------------------------------------------------------------
+    # Event routing
+    # ------------------------------------------------------------------
+    def _on_update_competitive(self, obj: DataObject, now: float) -> None:
+        weight = self.source_weights.weight(obj.index, now)
+        priority = self.source_priority_fn.priority(obj, weight, now)
+        self._own_trackers[obj.source_id].update(obj.index, priority)
+        if self.source_collector is not None:
+            self.source_collector.record(obj.index, now,
+                                         obj.truth.divergence)
+
+    def _on_refresh_applied(self, obj: DataObject, now: float) -> None:
+        if self.source_collector is not None:
+            self.source_collector.record(obj.index, now,
+                                         obj.truth.divergence)
+        self._own_trackers[obj.source_id].remove(obj.index)
+
+    def _on_refresh_sent(self, obj: DataObject, now: float,
+                         threshold_driven: bool) -> None:
+        # Any send synchronizes the object; drop it from the own-priority
+        # queue immediately rather than waiting for cache-side application
+        # (which lags under congestion and would allow duplicate sends).
+        self._own_trackers[obj.source_id].remove(obj.index)
+        if (threshold_driven and self.option == "contribution"
+                and self.psi > 0):
+            # Sec 7 option 3: each *cache-priority* refresh earns the
+            # source Psi / (1 - Psi) piggybacked refreshes of its own
+            # choosing.  Own-priority sends must not earn credit (the
+            # piggyback loop would feed itself), and banked credit is
+            # capped so a warm-up burst cannot flood the link later.
+            earned = self._own_credit[obj.source_id] \
+                + self.psi / (1.0 - self.psi)
+            self._own_credit[obj.source_id] = min(earned, 4.0)
+
+    # ------------------------------------------------------------------
+    # Own-priority sends
+    # ------------------------------------------------------------------
+    def _own_sends_tick(self, now: float) -> None:
+        ctx = self._ctx
+        for j, source in enumerate(self.sources):
+            if self.option in ("equal", "proportional"):
+                self._own_credit[j] = min(
+                    self._own_credit[j] + self._own_rate[j] * ctx.dt,
+                    max(1.0, self._own_rate[j] * ctx.dt))
+            tracker = self._own_trackers[j]
+            while self._own_credit[j] >= 1.0:
+                top = tracker.peek()
+                if top is None:
+                    break
+                index, _ = top
+                obj = ctx.objects[index]
+                if obj.belief.divergence == 0.0:
+                    # Already synchronized by the cache-priority flow.
+                    tracker.pop()
+                    continue
+                if not source._send_refresh(obj, now,
+                                            adjust_threshold=False):
+                    break  # out of source-side bandwidth
+                tracker.pop()
+                self._own_credit[j] -= 1.0
+                self.own_refreshes_sent += 1
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def source_objective_divergence(self, end_time: float) -> float:
+        """Mean per-object divergence under the *sources'* weight scheme."""
+        assert self.source_collector is not None
+        self.source_collector.finalize(end_time)
+        return self.source_collector.mean_weighted_average()
+
+    def extras(self) -> dict:
+        extras = super().extras()
+        extras["own_refreshes_sent"] = self.own_refreshes_sent
+        extras["psi"] = self.psi
+        extras["option"] = self.option
+        return extras

@@ -1,0 +1,230 @@
+"""The paper's practical algorithm: threshold-based source cooperation.
+
+This policy assembles the full Sec 5 machinery over the message-level
+network substrate:
+
+* one :class:`SourceNode` per source with a lazy priority queue, a
+  :class:`ThresholdController` (``alpha``/``omega``/``gamma`` dynamics) and
+  a priority monitor (exact triggers by default, sampling optional);
+* a :class:`CacheNode` that applies whatever refreshes arrive and runs the
+  :class:`FeedbackController`, spending surplus cache-link bandwidth on
+  positive feedback to the highest-threshold sources;
+* a :class:`StarTopology` whose shared cache link is where congestion,
+  queueing delay and flooding actually happen.
+
+Every coordination byte is accounted: refresh messages carry the
+piggybacked thresholds, feedback messages consume real bandwidth, and the
+run result separates useful refreshes from overhead.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.cache.cache import CacheNode
+from repro.cache.feedback import FeedbackController
+from repro.cache.store import CacheStore
+from repro.core.divergence import DivergenceMetric
+from repro.core.objects import DataObject
+from repro.core.priority import PriorityFunction
+from repro.core.threshold import DEFAULT_ALPHA, DEFAULT_OMEGA, ThresholdController
+from repro.core.tracking import PriorityTracker
+from repro.network.bandwidth import BandwidthProfile
+from repro.network.topology import StarTopology
+from repro.policies.base import SimulationContext, SyncPolicy
+from repro.sim.events import Phase
+from repro.source.batching import BatchingSource
+from repro.source.monitor import SamplingMonitor, TriggerMonitor
+from repro.source.source import SourceNode
+
+
+class CooperativePolicy(SyncPolicy):
+    """Sec 5's adaptive threshold-setting algorithm, end to end.
+
+    Parameters
+    ----------
+    cache_bandwidth:
+        Profile of the shared cache-side link ``C(t)``.
+    source_bandwidths:
+        One profile per source (``B_j(t)``).
+    priority_fn:
+        Refresh priority function shared by all sources.
+    alpha, omega:
+        Threshold increase / decrease factors (paper's best: 1.1 and 10).
+    initial_threshold:
+        Starting ``T_j`` for every source; any positive value works after
+        warm-up.
+    feedback_period:
+        Expected feedback period ``P_feedback`` for the ``gamma`` factor;
+        ``None`` derives the paper's rough estimate
+        ``num_sources / mean cache bandwidth``.
+    monitor:
+        ``"trigger"`` (exact, default) or ``"sampling"`` (Sec 8.2.1).
+    sampling_interval, predictive_sampling:
+        Sampling-monitor knobs (ignored for trigger monitoring).
+    reprioritize_interval:
+        Optional periodic re-computation of all priorities, for fluctuating
+        weights or time-varying priority functions.
+    batch_size, batch_timeout:
+        When ``batch_size > 1``, sources package that many refreshes into
+        each message (Sec 10.1 future work), flushing a partial batch
+        after ``batch_timeout``.
+    """
+
+    name = "cooperative"
+
+    def __init__(self, cache_bandwidth: BandwidthProfile,
+                 source_bandwidths: list[BandwidthProfile],
+                 priority_fn: PriorityFunction,
+                 alpha: float = DEFAULT_ALPHA,
+                 omega: float = DEFAULT_OMEGA,
+                 initial_threshold: float = 1.0,
+                 feedback_period: float | None = None,
+                 monitor: str = "trigger",
+                 sampling_interval: float = 10.0,
+                 predictive_sampling: bool = False,
+                 reprioritize_interval: float | None = None,
+                 batch_size: int = 1,
+                 batch_timeout: float = 5.0) -> None:
+        self.cache_bandwidth = cache_bandwidth
+        self.source_bandwidths = source_bandwidths
+        self.priority_fn = priority_fn
+        self.alpha = alpha
+        self.omega = omega
+        self.initial_threshold = initial_threshold
+        self.feedback_period = feedback_period
+        self.monitor_kind = monitor
+        self.sampling_interval = sampling_interval
+        self.predictive_sampling = predictive_sampling
+        self.reprioritize_interval = reprioritize_interval
+        self.batch_size = batch_size
+        self.batch_timeout = batch_timeout
+        self.topology: StarTopology | None = None
+        self.cache: CacheNode | None = None
+        self.store: CacheStore | None = None
+        self.sources: list[SourceNode] = []
+        self.feedback: FeedbackController | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, ctx: SimulationContext) -> None:
+        workload = ctx.workload
+        if len(self.source_bandwidths) != workload.num_sources:
+            raise ValueError(
+                f"expected {workload.num_sources} source bandwidth "
+                f"profiles, got {len(self.source_bandwidths)}")
+        self.topology = StarTopology(self.cache_bandwidth,
+                                     self.source_bandwidths)
+        feedback_period = self.feedback_period
+        if feedback_period is None:
+            # The paper's rough estimate is m / mean cache bandwidth; at
+            # the alpha/omega equilibrium one feedback balances
+            # ln(omega)/ln(alpha) refreshes (~24 at the default settings),
+            # so the *expected* period between feedback messages to one
+            # source is that many times longer.  Scaling the estimate (and
+            # flooring it at a few ticks) keeps gamma measuring genuine
+            # feedback droughts across bandwidth regimes -- the paper notes
+            # the estimate "need only be a rough estimate".
+            mean_rate = self.cache_bandwidth.mean_rate
+            if mean_rate > 0:
+                slack = math.log(self.omega) / math.log(self.alpha)
+                feedback_period = max(
+                    slack * workload.num_sources / mean_rate, 5.0 * ctx.dt)
+        self.feedback = FeedbackController(self.topology, self.omega)
+        self.store = CacheStore(workload.num_objects,
+                                workload.trace.initial_values)
+        self.cache = CacheNode(ctx.objects, ctx.metric, self.topology,
+                               collector=ctx.collector, store=self.store,
+                               feedback=self.feedback,
+                               clock=lambda: ctx.sim.now)
+
+        per_source = workload.objects_per_source
+        self.sources = []
+        for j in range(workload.num_sources):
+            objects = ctx.objects[j * per_source:(j + 1) * per_source]
+            tracker = PriorityTracker()
+            threshold = ThresholdController(
+                initial=self.initial_threshold, alpha=self.alpha,
+                omega=self.omega, feedback_period=feedback_period)
+            monitor = self._build_monitor(tracker, workload.weights,
+                                          ctx.metric, threshold)
+            if self.batch_size > 1:
+                source: SourceNode = BatchingSource(
+                    j, objects, monitor, threshold, self.topology,
+                    batch_size=self.batch_size,
+                    batch_timeout=self.batch_timeout)
+            else:
+                source = SourceNode(j, objects, monitor, threshold,
+                                    self.topology)
+            self.sources.append(source)
+            self.topology.set_source_receiver(
+                j, self._make_receiver(source, ctx))
+
+        ctx.add_update_hook(self._on_update)
+        ctx.sim.every(ctx.dt, self.topology.on_network_tick,
+                      phase=Phase.NETWORK)
+        ctx.sim.every(ctx.dt, self._sources_tick, phase=Phase.SOURCES)
+        ctx.sim.every(ctx.dt, self.cache.on_tick, phase=Phase.CACHE)
+        if self.reprioritize_interval is not None:
+            ctx.sim.every(self.reprioritize_interval,
+                          self._reprioritize_all, phase=Phase.SOURCES)
+        self._ctx = ctx
+
+    def _build_monitor(self, tracker: PriorityTracker, weights, metric:
+                       DivergenceMetric, threshold: ThresholdController):
+        if self.monitor_kind == "trigger":
+            return TriggerMonitor(tracker, self.priority_fn, weights)
+        if self.monitor_kind == "sampling":
+            return SamplingMonitor(
+                tracker, self.priority_fn, weights, metric,
+                interval=self.sampling_interval,
+                predictive=self.predictive_sampling,
+                threshold=lambda: threshold.value)
+        raise ValueError(f"unknown monitor kind {self.monitor_kind!r}")
+
+    @staticmethod
+    def _make_receiver(source: SourceNode, ctx: SimulationContext):
+        def receive(message):
+            source.on_message(message, ctx.sim.now)
+        return receive
+
+    # ------------------------------------------------------------------
+    # Event routing
+    # ------------------------------------------------------------------
+    def _on_update(self, obj: DataObject, now: float) -> None:
+        self.sources[obj.source_id].on_update(obj, now)
+
+    def _sources_tick(self, now: float) -> None:
+        for source in self.sources:
+            source.on_tick(now)
+
+    def _reprioritize_all(self, now: float) -> None:
+        for source in self.sources:
+            source.monitor.refresh_priorities(source.objects, now)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def refreshes(self) -> int:
+        return self.cache.refreshes_applied if self.cache else 0
+
+    def feedback_messages(self) -> int:
+        return self.feedback.feedback_sent if self.feedback else 0
+
+    def messages_total(self) -> int:
+        if self.topology is None:
+            return 0
+        return self.topology.cache_link.total_sent
+
+    def extras(self) -> dict:
+        thresholds = [s.threshold.value for s in self.sources]
+        sent = sum(s.refreshes_sent for s in self.sources)
+        return {
+            "mean_threshold": (sum(thresholds) / len(thresholds)
+                               if thresholds else 0.0),
+            "refreshes_sent": sent,
+            "refreshes_in_flight": (sent - self.refreshes()),
+            "cache_queue_peak": (self.topology.cache_link.total_queued_peak
+                                 if self.topology else 0),
+        }

@@ -1,0 +1,181 @@
+"""The idealized cooperative scheduler (paper Sec 3.3).
+
+"Each time there is enough cache-side bandwidth to accept a refresh, the
+object with the highest refresh priority among all objects at all sources
+should be refreshed.  If the source containing the highest priority object
+does not have enough source-side bandwidth available to perform the
+refresh, then the object with the second highest priority overall should be
+refreshed instead, and so on."
+
+This policy is deliberately unrealistic -- it assumes free global knowledge
+and zero-cost coordination -- and serves as the theoretical reference curve
+("ideal cooperative" / "theoretically achievable divergence") in Figures
+4-6.  Refreshes are applied instantly (no queueing) but still consume the
+bandwidth budget.
+
+With a different priority function plugged in, the same machinery realizes
+the Sec 4.3 validation runs (general priority vs. the ``D * W`` strawman)
+and the Sec 9 bound-minimizing scheduler.
+"""
+
+from __future__ import annotations
+
+from repro.core.objects import DataObject
+from repro.core.priority import PriorityFunction
+from repro.core.tracking import PriorityTracker
+from repro.network.bandwidth import BandwidthProfile
+from repro.policies.base import SimulationContext, SyncPolicy
+from repro.sim.events import Phase
+
+
+class _CreditBucket:
+    """Token-bucket bandwidth accounting for the virtual ideal links.
+
+    Refillable at arbitrary times (the ideal scheduler reacts to every
+    update, not just to ticks); the burst cap bounds how much idle capacity
+    can be banked, mirroring the real links' one-tick carry-over.
+    """
+
+    __slots__ = ("profile", "credit", "burst_cap", "_last")
+
+    def __init__(self, profile: BandwidthProfile,
+                 burst_cap: float = 1.0) -> None:
+        self.profile = profile
+        self.credit = 0.0
+        self.burst_cap = max(1.0, burst_cap)
+        self._last = 0.0
+
+    def refill(self, now: float) -> None:
+        added = self.profile.capacity(self._last, now)
+        self._last = now
+        self.credit = min(self.credit + added, self.burst_cap)
+
+    def take(self) -> bool:
+        if self.credit >= 1.0:
+            self.credit -= 1.0
+            return True
+        return False
+
+
+class IdealCooperativePolicy(SyncPolicy):
+    """Omniscient global-priority scheduling with instant refreshes.
+
+    Parameters
+    ----------
+    cache_bandwidth:
+        The shared refresh budget ``C(t)`` in refreshes per time unit.
+    priority_fn:
+        Any :class:`PriorityFunction`; the paper's general area priority by
+        default behavior is chosen by the caller.
+    source_bandwidths:
+        Optional per-source budgets ``B_j(t)``; ``None`` means unlimited
+        source-side bandwidth.
+    """
+
+    name = "ideal-cooperative"
+
+    def __init__(self, cache_bandwidth: BandwidthProfile,
+                 priority_fn: PriorityFunction,
+                 source_bandwidths: list[BandwidthProfile] | None = None
+                 ) -> None:
+        self.cache_bandwidth = cache_bandwidth
+        self.priority_fn = priority_fn
+        self.source_bandwidths = source_bandwidths
+        self.tracker = PriorityTracker()
+        self._refreshes = 0
+        self._ctx: SimulationContext | None = None
+        self._cache_bucket: _CreditBucket | None = None
+        self._source_buckets: list[_CreditBucket] | None = None
+        #: callbacks invoked as ``hook(obj, now)`` after each refresh
+        self.refresh_hooks: list = []
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, ctx: SimulationContext) -> None:
+        self._ctx = ctx
+        burst = 2.0 * ctx.dt
+        self._cache_bucket = _CreditBucket(
+            self.cache_bandwidth, self.cache_bandwidth.mean_rate * burst)
+        if self.source_bandwidths is not None:
+            if len(self.source_bandwidths) != ctx.workload.num_sources:
+                raise ValueError(
+                    f"expected {ctx.workload.num_sources} source bandwidth "
+                    f"profiles, got {len(self.source_bandwidths)}")
+            self._source_buckets = [
+                _CreditBucket(p, p.mean_rate * burst)
+                for p in self.source_bandwidths
+            ]
+        ctx.add_update_hook(self._on_update)
+        ctx.sim.every(ctx.dt, self._on_tick, phase=Phase.SOURCES)
+
+    def _on_update(self, obj: DataObject, now: float) -> None:
+        weight = self._ctx.workload.weights.weight(obj.index, now)
+        priority = self.priority_fn.priority(obj, weight, now)
+        self.tracker.update(obj.index, priority)
+        # "Each time there is enough cache-side bandwidth to accept a
+        # refresh" (Sec 3.3): the idealized scheduler reacts immediately,
+        # not at the next tick.
+        self._drain(now)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _on_tick(self, now: float) -> None:
+        if self.priority_fn.time_varying:
+            self._refill(now)
+            self._reprioritize_all(now)
+        self._drain(now)
+
+    def _refill(self, now: float) -> None:
+        self._cache_bucket.refill(now)
+        if self._source_buckets is not None:
+            for bucket in self._source_buckets:
+                bucket.refill(now)
+
+    def _drain(self, now: float) -> None:
+        ctx = self._ctx
+        assert ctx is not None and self._cache_bucket is not None
+        self._refill(now)
+        deferred: list[tuple[int, float]] = []
+        while self._cache_bucket.credit >= 1.0:
+            top = self.tracker.pop()
+            if top is None:
+                break
+            index, priority = top
+            if priority <= 0.0:
+                break
+            source_id = ctx.workload.source_of(index)
+            if (self._source_buckets is not None
+                    and not self._source_buckets[source_id].take()):
+                # Source-side bandwidth exhausted: skip to the next-highest
+                # priority object (paper Sec 3.3), revisit next tick.
+                deferred.append(top)
+                continue
+            self._cache_bucket.take()
+            self._apply_refresh(index, now)
+        for index, priority in deferred:
+            self.tracker.update(index, priority)
+
+    def _apply_refresh(self, index: int, now: float) -> None:
+        ctx = self._ctx
+        obj = ctx.objects[index]
+        obj.sync_views(now)
+        ctx.collector.record(index, now, 0.0)
+        self._refreshes += 1
+        for hook in self.refresh_hooks:
+            hook(obj, now)
+
+    def _reprioritize_all(self, now: float) -> None:
+        ctx = self._ctx
+        weights = ctx.workload.weights
+        for obj in ctx.objects:
+            priority = self.priority_fn.priority(
+                obj, weights.weight(obj.index, now), now)
+            self.tracker.update(obj.index, priority)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def refreshes(self) -> int:
+        return self._refreshes

@@ -1,0 +1,15 @@
+"""Discrete-event simulation kernel (events, engine, reproducible RNG)."""
+
+from repro.sim.engine import SimulationError, Simulator, Ticker
+from repro.sim.events import Event, EventQueue, Phase
+from repro.sim.random import RngRegistry
+
+__all__ = [
+    "Event",
+    "EventQueue",
+    "Phase",
+    "RngRegistry",
+    "SimulationError",
+    "Simulator",
+    "Ticker",
+]

@@ -1,0 +1,20 @@
+"""Source-side machinery: cooperating sources, monitors, rate estimation."""
+
+from repro.source.batching import BatchingSource
+from repro.source.monitor import (
+    PriorityMonitor,
+    SamplingMonitor,
+    TriggerMonitor,
+)
+from repro.source.rates import EstimatedRatePriority, OnlineRateEstimator
+from repro.source.source import SourceNode
+
+__all__ = [
+    "BatchingSource",
+    "EstimatedRatePriority",
+    "OnlineRateEstimator",
+    "PriorityMonitor",
+    "SamplingMonitor",
+    "SourceNode",
+    "TriggerMonitor",
+]

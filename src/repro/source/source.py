@@ -1,0 +1,113 @@
+"""The cooperating data source (paper Secs 5 and 8).
+
+A :class:`SourceNode` owns a contiguous range of objects, watches their
+refresh priorities through a :class:`PriorityMonitor`, and implements the
+source half of the threshold-setting protocol:
+
+* whenever source-side bandwidth allows, refresh the highest-priority
+  object *if* its priority is at least the local threshold ``T_j``;
+* raise ``T_j`` by ``alpha * gamma`` per refresh sent;
+* on positive feedback, lower ``T_j`` by ``omega`` unless sending at full
+  source-side capacity (footnote 3);
+* piggyback the current ``T_j`` on every refresh message so the cache can
+  target feedback at the sources with the highest thresholds.
+"""
+
+from __future__ import annotations
+
+from repro.core.objects import DataObject
+from repro.core.threshold import ThresholdController
+from repro.network.messages import FeedbackMessage, Message, RefreshMessage
+from repro.network.topology import StarTopology
+from repro.source.monitor import PriorityMonitor
+
+
+class SourceNode:
+    """One cooperating source in the star topology."""
+
+    def __init__(self, source_id: int, objects: list[DataObject],
+                 monitor: PriorityMonitor,
+                 threshold: ThresholdController,
+                 topology: StarTopology) -> None:
+        self.source_id = source_id
+        self.objects = objects
+        self.monitor = monitor
+        self.threshold = threshold
+        self.topology = topology
+        self.refreshes_sent = 0
+        self.feedback_received = 0
+        #: callbacks ``hook(obj, now, threshold_driven)`` fired per send
+        self.send_hooks: list = []
+        self._index_base = min((o.index for o in objects), default=0)
+        self._by_index = {obj.index: obj for obj in objects}
+
+    # ------------------------------------------------------------------
+    # Event handlers
+    # ------------------------------------------------------------------
+    def on_update(self, obj: DataObject, now: float) -> None:
+        """An update was applied to one of this source's objects.
+
+        The paper's sources "decide whether to refresh immediately after
+        each update" (Sec 3.4), so after repositioning the object in the
+        priority queue we immediately try to drain.
+        """
+        self.monitor.on_update(obj, now)
+        self.drain(now)
+
+    def on_tick(self, now: float) -> None:
+        """Per-tick refresh opportunity (SOURCES phase)."""
+        self.monitor.on_tick(self.objects, now)
+        self.drain(now)
+
+    def on_message(self, message: Message, now: float) -> None:
+        """Downstream message from the cache."""
+        if isinstance(message, FeedbackMessage):
+            self.on_feedback(now)
+
+    def on_feedback(self, now: float) -> None:
+        """Positive feedback: lower the threshold and use it right away."""
+        self.feedback_received += 1
+        at_capacity = self.topology.source_at_capacity(self.source_id)
+        self.threshold.on_feedback(now, at_capacity=at_capacity)
+        self.drain(now)
+
+    # ------------------------------------------------------------------
+    # Refresh scheduling
+    # ------------------------------------------------------------------
+    def drain(self, now: float) -> None:
+        """Send refreshes while priority >= threshold and bandwidth allows."""
+        tracker = self.monitor.tracker
+        while True:
+            top = tracker.peek()
+            if top is None:
+                return
+            index, priority = top
+            if priority < self.threshold.value:
+                return
+            obj = self._by_index[index]
+            if not self._send_refresh(obj, now):
+                return  # out of source-side bandwidth this tick
+
+    def _send_refresh(self, obj: DataObject, now: float,
+                      adjust_threshold: bool = True) -> bool:
+        """Send one refresh message; ``adjust_threshold=False`` is used by
+        source-priority sends in competitive mode (Sec 7), which are paced
+        by their own allocation rather than the threshold protocol."""
+        message = RefreshMessage(
+            source_id=self.source_id,
+            sent_at=now,
+            object_index=obj.index,
+            value=obj.value,
+            threshold=self.threshold.value,
+            update_count=obj.update_count,
+        )
+        if not self.topology.send_upstream(message):
+            return False
+        obj.mark_sent(now)
+        self.monitor.on_refresh_sent(obj, now)
+        if adjust_threshold:
+            self.threshold.on_refresh(now)
+        self.refreshes_sent += 1
+        for hook in self.send_hooks:
+            hook(obj, now, adjust_threshold)
+        return True

@@ -1,0 +1,38 @@
+"""Workload generation: update processes, traces, synthetic & buoy data."""
+
+from repro.workloads.buoy import (
+    buoy_workload,
+    generate_buoy_trace,
+    load_buoy_trace,
+)
+from repro.workloads.random_walk import (
+    expected_walk_deviation,
+    random_walk_values,
+)
+from repro.workloads.synthetic import (
+    Workload,
+    skewed_validation,
+    uniform_random_walk,
+)
+from repro.workloads.trace import TraceReplayer, UpdateTrace
+from repro.workloads.update_process import (
+    bernoulli_tick_times,
+    merge_event_streams,
+    poisson_times,
+)
+
+__all__ = [
+    "TraceReplayer",
+    "UpdateTrace",
+    "Workload",
+    "bernoulli_tick_times",
+    "buoy_workload",
+    "expected_walk_deviation",
+    "generate_buoy_trace",
+    "load_buoy_trace",
+    "merge_event_streams",
+    "poisson_times",
+    "random_walk_values",
+    "skewed_validation",
+    "uniform_random_walk",
+]

@@ -1,0 +1,39 @@
+"""Random-walk value sequences.
+
+The paper's synthetic data: "upon each update, the object's value was either
+incremented or decremented by 1, with equal probability (following a random
+walk pattern)" (Sec 4.3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def random_walk_values(num_updates: int, rng: np.random.Generator,
+                       initial: float = 0.0,
+                       step: float = 1.0) -> np.ndarray:
+    """Values after each of ``num_updates`` +-``step`` random-walk moves.
+
+    The returned array has length ``num_updates``; element ``k`` is the
+    object's value immediately after update ``k`` (the initial value is not
+    included).
+    """
+    if num_updates < 0:
+        raise ValueError(f"num_updates must be >= 0, got {num_updates}")
+    if num_updates == 0:
+        return np.empty(0, dtype=float)
+    steps = rng.choice((-step, step), size=num_updates)
+    return initial + np.cumsum(steps)
+
+
+def expected_walk_deviation(rate: float, elapsed: float,
+                            step: float = 1.0) -> float:
+    """Expected |value - start| of a +-step walk after ``rate * elapsed`` moves.
+
+    For ``k`` fair +-1 steps, ``E|S_k| ~ sqrt(2 k / pi)`` for large ``k``.
+    Used by the analysis module to build closed-form ideal schedules for
+    random-walk workloads.
+    """
+    k = max(rate * elapsed, 0.0)
+    return step * float(np.sqrt(2.0 * k / np.pi))

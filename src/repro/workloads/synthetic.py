@@ -1,0 +1,155 @@
+"""Synthetic workload builders matching the paper's experiment setups.
+
+A :class:`Workload` bundles everything the runner needs: object layout
+(``m`` sources x ``n`` objects each), true update rates, the update trace,
+and a weight model.  Builders:
+
+* :func:`uniform_random_walk` -- rates ``lambda_i ~ U(0, 1)``, +-1 random
+  walks, Poisson or Bernoulli-per-second arrivals (Secs 4.3, 6.1-6.3).
+* :func:`skewed_validation` -- the Sec 4.3 skew: an independently chosen
+  half of the objects gets weight 10 (rest weight 1), and an independently
+  chosen half updates with probability 0.01 per second (rest update every
+  second).
+* :func:`Workload.subset_rates` etc. give policies access to true rates
+  (the cooperative sources know their own ``lambda_i``; CGM baselines must
+  estimate them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.weights import SineWeights, StaticWeights, WeightModel
+from repro.workloads.random_walk import random_walk_values
+from repro.workloads.trace import UpdateTrace
+from repro.workloads.update_process import (
+    bernoulli_tick_times,
+    merge_event_streams,
+    poisson_times,
+)
+
+
+@dataclass
+class Workload:
+    """Objects, their true rates, the update trace, and refresh weights."""
+
+    num_sources: int
+    objects_per_source: int
+    rates: np.ndarray  #: true mean update rate per object
+    trace: UpdateTrace
+    weights: WeightModel
+    horizon: float
+
+    def __post_init__(self) -> None:
+        n_total = self.num_sources * self.objects_per_source
+        if len(self.rates) != n_total:
+            raise ValueError(
+                f"expected {n_total} rates, got {len(self.rates)}")
+        if self.trace.num_objects != n_total:
+            raise ValueError(
+                f"trace covers {self.trace.num_objects} objects, "
+                f"expected {n_total}")
+        if self.weights.n != n_total:
+            raise ValueError(
+                f"weight model covers {self.weights.n} objects, "
+                f"expected {n_total}")
+
+    @property
+    def num_objects(self) -> int:
+        return self.num_sources * self.objects_per_source
+
+    def source_of(self, index: int) -> int:
+        """Owning source of a global object index (row-major layout)."""
+        return index // self.objects_per_source
+
+
+def _trace_from_times(times_per_object: list[np.ndarray],
+                      rng: np.random.Generator,
+                      num_objects: int,
+                      initial_values: np.ndarray | None = None,
+                      walk_step: float = 1.0) -> UpdateTrace:
+    """Assemble a random-walk trace from per-object update times."""
+    if initial_values is None:
+        initial_values = np.zeros(num_objects)
+    values_per_object = [
+        random_walk_values(len(times), rng, initial=initial_values[i],
+                           step=walk_step)
+        for i, times in enumerate(times_per_object)
+    ]
+    times, indices = merge_event_streams(times_per_object)
+    # Pull each object's k-th value in stream order.
+    cursor = np.zeros(num_objects, dtype=np.int64)
+    values = np.empty(len(times))
+    for k in range(len(times)):
+        obj = indices[k]
+        values[k] = values_per_object[obj][cursor[obj]]
+        cursor[obj] += 1
+    return UpdateTrace(num_objects=num_objects, times=times,
+                       object_indices=indices, values=values,
+                       initial_values=initial_values)
+
+
+def uniform_random_walk(num_sources: int, objects_per_source: int,
+                        horizon: float, rng: np.random.Generator,
+                        rate_range: tuple[float, float] = (0.0, 1.0),
+                        arrivals: str = "poisson",
+                        fluctuating_weights: bool = False,
+                        walk_step: float = 1.0) -> Workload:
+    """Random-walk objects with uniformly random rates (Secs 4.3/6.2/6.3).
+
+    ``arrivals`` is ``"poisson"`` (Figure 4/6 experiments) or
+    ``"bernoulli"`` (the Sec 4.3 validation's per-second coin flips).
+    ``fluctuating_weights`` switches from all-ones weights to the randomly
+    parameterized sine weights of Sec 6.
+    """
+    n_total = num_sources * objects_per_source
+    rates = rng.uniform(*rate_range, size=n_total)
+    if arrivals == "poisson":
+        times_per_object = [
+            poisson_times(rate, horizon, rng) for rate in rates
+        ]
+    elif arrivals == "bernoulli":
+        times_per_object = [
+            bernoulli_tick_times(rate, horizon, rng) for rate in rates
+        ]
+    else:
+        raise ValueError(f"unknown arrival model {arrivals!r}")
+    trace = _trace_from_times(times_per_object, rng, n_total,
+                              walk_step=walk_step)
+    if fluctuating_weights:
+        weights: WeightModel = SineWeights.random(n_total, rng)
+    else:
+        weights = StaticWeights.uniform(n_total)
+    return Workload(num_sources=num_sources,
+                    objects_per_source=objects_per_source,
+                    rates=rates, trace=trace, weights=weights,
+                    horizon=horizon)
+
+
+def skewed_validation(horizon: float, rng: np.random.Generator,
+                      num_objects: int = 100,
+                      heavy_weight: float = 10.0,
+                      slow_prob: float = 0.01) -> Workload:
+    """The Sec 4.3 skewed single-source workload.
+
+    "a randomly-selected half of which were assigned a weight of 10 while
+    the other half received a weight of 1.  An independently- and
+    randomly-selected half of the objects were updated with probability
+    0.01 while the other half were updated consistently every second."
+    """
+    if num_objects % 2:
+        raise ValueError(f"num_objects must be even, got {num_objects}")
+    half = num_objects // 2
+    weight_values = np.ones(num_objects)
+    weight_values[rng.permutation(num_objects)[:half]] = heavy_weight
+    rates = np.full(num_objects, 1.0)
+    rates[rng.permutation(num_objects)[:half]] = slow_prob
+    times_per_object = [
+        bernoulli_tick_times(rate, horizon, rng) for rate in rates
+    ]
+    trace = _trace_from_times(times_per_object, rng, num_objects)
+    return Workload(num_sources=1, objects_per_source=num_objects,
+                    rates=rates, trace=trace,
+                    weights=StaticWeights(weight_values), horizon=horizon)

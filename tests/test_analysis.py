@@ -1,0 +1,149 @@
+"""Tests for the closed-form ideal schedules (paper Secs 4 and 9)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.ideal import (
+    bound_schedule,
+    linear_divergence_schedule,
+    random_walk_deviation_rates,
+    sqrt_divergence_schedule,
+)
+
+
+def numeric_average_divergence(rates, periods, shape):
+    """Brute-force time-averaged divergence of a periodic schedule."""
+    total = 0.0
+    for r, T in zip(rates, periods):
+        t = np.linspace(0.0, T, 20001)
+        d = r * t if shape == "linear" else r * np.sqrt(t)
+        total += np.trapezoid(d, t) / T
+    return total
+
+
+class TestLinearSchedule:
+    def test_budget_satisfied(self):
+        rates = np.array([0.2, 1.0, 3.0])
+        schedule = linear_divergence_schedule(rates, budget=5.0)
+        assert schedule.frequencies.sum() == pytest.approx(5.0)
+
+    def test_threshold_equalized_across_objects(self):
+        """The Sec 4 optimality condition: rho_i = Theta for all i."""
+        rates = np.array([0.3, 0.7, 2.0])
+        weights = np.array([1.0, 4.0, 0.5])
+        schedule = linear_divergence_schedule(rates, 3.0, weights)
+        rho = weights * rates * schedule.periods ** 2 / 2.0
+        np.testing.assert_allclose(rho, schedule.threshold, rtol=1e-9)
+
+    def test_average_divergence_matches_numeric(self):
+        rates = np.array([0.4, 1.1])
+        schedule = linear_divergence_schedule(rates, 2.0)
+        numeric = numeric_average_divergence(rates, schedule.periods,
+                                             "linear")
+        assert schedule.average_divergence == pytest.approx(numeric,
+                                                            rel=1e-4)
+
+    def test_optimality_against_perturbation(self):
+        """Shifting budget between objects must not reduce divergence."""
+        rates = np.array([0.5, 2.0])
+        budget = 3.0
+        schedule = linear_divergence_schedule(rates, budget)
+        base = schedule.average_divergence
+
+        def divergence(f0):
+            f1 = budget - f0
+            return (rates[0] / (2 * f0)) + (rates[1] / (2 * f1))
+
+        f_opt = schedule.frequencies[0]
+        for delta in (-0.1, 0.1):
+            assert divergence(f_opt + delta) >= base - 1e-9
+
+    def test_faster_objects_refreshed_more(self):
+        schedule = linear_divergence_schedule(np.array([0.1, 1.0]), 2.0)
+        assert schedule.periods[1] < schedule.periods[0]
+
+    def test_sqrt_weight_proportionality(self):
+        """1/T_i must be proportional to sqrt(w_i r_i)."""
+        rates = np.array([1.0, 1.0])
+        weights = np.array([1.0, 4.0])
+        schedule = linear_divergence_schedule(rates, 3.0, weights)
+        assert schedule.periods[0] / schedule.periods[1] == pytest.approx(
+            2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            linear_divergence_schedule(np.array([0.0]), 1.0)
+        with pytest.raises(ValueError):
+            linear_divergence_schedule(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            linear_divergence_schedule(np.array([1.0]), 1.0,
+                                       weights=np.array([0.0]))
+
+
+class TestSqrtSchedule:
+    def test_budget_satisfied(self):
+        rates = np.array([0.2, 1.0, 3.0])
+        schedule = sqrt_divergence_schedule(rates, budget=5.0)
+        assert schedule.frequencies.sum() == pytest.approx(5.0)
+
+    def test_threshold_equalized(self):
+        rates = np.array([0.3, 0.9])
+        weights = np.array([2.0, 1.0])
+        schedule = sqrt_divergence_schedule(rates, 2.0, weights)
+        rho = weights * rates * schedule.periods ** 1.5 / 3.0
+        np.testing.assert_allclose(rho, schedule.threshold, rtol=1e-9)
+
+    def test_average_divergence_matches_numeric(self):
+        rates = np.array([0.4, 1.1])
+        schedule = sqrt_divergence_schedule(rates, 2.0)
+        numeric = numeric_average_divergence(rates, schedule.periods,
+                                             "sqrt")
+        assert schedule.average_divergence == pytest.approx(numeric,
+                                                            rel=1e-3)
+
+    def test_skews_harder_than_linear(self):
+        """1/T scales as (w c)^{2/3} under sqrt divergence vs (w r)^{1/2}
+        under linear, so the sqrt model allocates *more* aggressively
+        toward fast objects (2/3 > 1/2)."""
+        rates = np.array([0.1, 1.0])
+        lin = linear_divergence_schedule(rates, 2.0)
+        sq = sqrt_divergence_schedule(rates, 2.0)
+        lin_skew = lin.frequencies[1] / lin.frequencies[0]
+        sq_skew = sq.frequencies[1] / sq.frequencies[0]
+        assert sq_skew > lin_skew
+        assert lin_skew == pytest.approx(np.sqrt(10.0))
+        assert sq_skew == pytest.approx(10.0 ** (2.0 / 3.0))
+
+
+class TestRandomWalkRates:
+    def test_formula(self):
+        rates = random_walk_deviation_rates(np.array([0.5]), step=2.0)
+        assert rates[0] == pytest.approx(2.0 * np.sqrt(1.0 / np.pi))
+
+    def test_monte_carlo_agreement(self):
+        """E|walk| after k steps must match c*sqrt(t) with c from the
+        helper."""
+        rng = np.random.default_rng(0)
+        lam, t = 0.8, 200.0
+        k = int(lam * t)
+        walks = rng.choice([-1.0, 1.0], size=(4000, k)).sum(axis=1)
+        measured = np.abs(walks).mean()
+        c = random_walk_deviation_rates(np.array([lam]))[0]
+        assert measured == pytest.approx(c * np.sqrt(t), rel=0.05)
+
+
+class TestBoundSchedule:
+    def test_latency_floor_added(self):
+        rates = np.array([1.0, 2.0])
+        latencies = np.array([0.5, 0.25])
+        with_latency = bound_schedule(rates, 2.0, latencies=latencies)
+        without = bound_schedule(rates, 2.0)
+        floor = float(np.sum(rates * latencies))
+        assert with_latency.average_divergence == pytest.approx(
+            without.average_divergence + floor)
+
+    def test_same_periods_as_linear(self):
+        rates = np.array([0.5, 1.5])
+        np.testing.assert_allclose(
+            bound_schedule(rates, 2.0).periods,
+            linear_divergence_schedule(rates, 2.0).periods)

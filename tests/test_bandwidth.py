@@ -1,0 +1,96 @@
+"""Tests for bandwidth profiles (constant and the paper's mB sine model)."""
+
+import numpy as np
+import pytest
+
+from repro.network.bandwidth import (
+    ConstantBandwidth,
+    SineBandwidth,
+    make_bandwidth,
+)
+
+
+class TestConstantBandwidth:
+    def test_rate_is_constant(self):
+        profile = ConstantBandwidth(12.5)
+        assert profile.rate(0.0) == 12.5
+        assert profile.rate(1e6) == 12.5
+
+    def test_capacity_is_rate_times_duration(self):
+        profile = ConstantBandwidth(4.0)
+        assert profile.capacity(2.0, 5.0) == pytest.approx(12.0)
+
+    def test_mean_rate(self):
+        assert ConstantBandwidth(7.0).mean_rate == 7.0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantBandwidth(-1.0)
+
+
+class TestSineBandwidth:
+    def test_rate_oscillates_around_mean(self):
+        profile = SineBandwidth(mean=10.0, max_change_rate=0.25)
+        times = np.linspace(0, 10 * profile.period, 5000)
+        rates = np.array([profile.rate(t) for t in times])
+        assert rates.min() >= 10.0 * (1 - 0.5) - 1e-9
+        assert rates.max() <= 10.0 * (1 + 0.5) + 1e-9
+        assert abs(rates.mean() - 10.0) < 0.05
+
+    def test_rate_never_negative(self):
+        profile = SineBandwidth(mean=10.0, max_change_rate=1.0,
+                                amplitude=0.99)
+        times = np.linspace(0, 3 * profile.period, 1000)
+        assert all(profile.rate(t) >= 0 for t in times)
+
+    def test_peak_relative_change_rate_matches_mb(self):
+        """The derivative of C(t)/B must peak at the configured mB."""
+        mB = 0.25
+        profile = SineBandwidth(mean=10.0, max_change_rate=mB)
+        times = np.linspace(0, 2 * profile.period, 20000)
+        rates = np.array([profile.rate(t) for t in times])
+        derivative = np.gradient(rates, times) / profile.mean
+        assert abs(np.max(np.abs(derivative)) - mB) < 0.01 * mB + 1e-6
+
+    def test_capacity_matches_numeric_integral(self):
+        profile = SineBandwidth(mean=5.0, max_change_rate=0.05, phase=0.7)
+        t = np.linspace(3.0, 47.0, 100001)
+        numeric = np.trapezoid([profile.rate(x) for x in t], t)
+        assert profile.capacity(3.0, 47.0) == pytest.approx(numeric,
+                                                            rel=1e-6)
+
+    def test_capacity_over_full_period_equals_mean(self):
+        profile = SineBandwidth(mean=8.0, max_change_rate=0.1)
+        period = profile.period
+        assert profile.capacity(0.0, period) == pytest.approx(8.0 * period)
+
+    def test_zero_mb_degenerates_to_constant(self):
+        profile = SineBandwidth(mean=6.0, max_change_rate=0.0)
+        assert profile.rate(123.4) == 6.0
+        assert profile.capacity(0.0, 10.0) == pytest.approx(60.0)
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            SineBandwidth(mean=1.0, max_change_rate=0.1, amplitude=1.0)
+        with pytest.raises(ValueError):
+            SineBandwidth(mean=1.0, max_change_rate=0.1, amplitude=-0.1)
+
+    def test_negative_mean_rejected(self):
+        with pytest.raises(ValueError):
+            SineBandwidth(mean=-1.0, max_change_rate=0.1)
+
+    def test_phase_shifts_the_wave(self):
+        a = SineBandwidth(mean=10.0, max_change_rate=0.25, phase=0.0)
+        b = SineBandwidth(mean=10.0, max_change_rate=0.25, phase=np.pi)
+        assert a.rate(1.0) != pytest.approx(b.rate(1.0))
+
+
+class TestMakeBandwidth:
+    def test_zero_mb_gives_constant(self):
+        assert isinstance(make_bandwidth(5.0), ConstantBandwidth)
+        assert isinstance(make_bandwidth(5.0, 0.0), ConstantBandwidth)
+
+    def test_positive_mb_gives_sine(self):
+        profile = make_bandwidth(5.0, 0.05)
+        assert isinstance(profile, SineBandwidth)
+        assert profile.mean_rate == 5.0

@@ -1,0 +1,83 @@
+"""Tests for the synthetic wind-buoy workload (Figure 5 substitute)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.buoy import (
+    NUM_BUOYS,
+    buoy_workload,
+    generate_buoy_trace,
+    load_buoy_trace,
+)
+
+
+class TestGenerateBuoyTrace:
+    def make(self, days=2.0, seed=0):
+        return generate_buoy_trace(np.random.default_rng(seed), days=days)
+
+    def test_every_object_updates_every_epoch(self):
+        trace = self.make(days=1.0)
+        epochs = 86_400 / 600
+        counts = trace.updates_per_object()
+        assert (counts == epochs).all()
+
+    def test_values_in_paper_range(self):
+        trace = self.make()
+        assert trace.values.min() >= 0.0
+        assert trace.values.max() <= 10.0
+        assert 3.5 < trace.values.mean() < 6.5  # typical value ~5
+
+    def test_timestamps_are_ten_minute_epochs(self):
+        trace = self.make(days=1.0)
+        unique_times = np.unique(trace.times)
+        np.testing.assert_allclose(np.diff(unique_times), 600.0)
+
+    def test_temporal_autocorrelation(self):
+        """Consecutive 10-minute readings must be strongly correlated --
+        the property that makes deviation-based scheduling meaningful."""
+        trace = self.make(days=7.0)
+        series = trace.values[trace.object_indices == 0]
+        a, b = series[:-1], series[1:]
+        corr = np.corrcoef(a, b)[0, 1]
+        assert corr > 0.8
+
+    def test_cross_buoy_correlation_from_regional_forcing(self):
+        """Distinct buoys share weather systems: same-component series
+        should correlate more than independent noise would."""
+        trace = self.make(days=7.0, seed=3)
+        s0 = trace.values[trace.object_indices == 0]  # buoy 0, comp 0
+        s2 = trace.values[trace.object_indices == 2]  # buoy 1, comp 0
+        corr = np.corrcoef(s0, s2)[0, 1]
+        assert corr > 0.1
+
+    def test_reproducible(self):
+        a = self.make(seed=5)
+        b = self.make(seed=5)
+        np.testing.assert_allclose(a.values, b.values)
+
+    def test_too_short_horizon_rejected(self):
+        with pytest.raises(ValueError):
+            generate_buoy_trace(np.random.default_rng(0), days=0.0)
+
+
+class TestBuoyWorkload:
+    def test_paper_shape(self):
+        workload = buoy_workload(np.random.default_rng(0), days=1.0)
+        assert workload.num_sources == NUM_BUOYS
+        assert workload.objects_per_source == 2
+        assert workload.num_objects == 80
+
+    def test_equal_weights(self):
+        workload = buoy_workload(np.random.default_rng(0), days=1.0)
+        np.testing.assert_allclose(workload.weights.weights(0.0), 1.0)
+
+
+class TestLoadBuoyTrace:
+    def test_round_trip_via_csv(self, tmp_path):
+        trace = generate_buoy_trace(np.random.default_rng(1), days=0.5,
+                                    num_buoys=3)
+        path = str(tmp_path / "buoys.csv")
+        trace.to_csv(path)
+        loaded = load_buoy_trace(path)
+        np.testing.assert_allclose(loaded.values, trace.values)
+        assert loaded.num_objects == trace.num_objects

@@ -1,0 +1,126 @@
+"""Tests for the CGM update-rate estimators."""
+
+import numpy as np
+import pytest
+
+from repro.cgm.estimators import BinaryChangeEstimator, LastUpdateAgeEstimator
+
+
+def simulate_polls(estimator, rate, interval, polls, rng,
+                   give_ages=True):
+    """Feed ``polls`` poll outcomes from a Poisson(rate) process."""
+    t = 0.0
+    last_update: float | None = None
+    for _ in range(polls):
+        window_start = t
+        t += interval
+        count = rng.poisson(rate * interval)
+        if count > 0:
+            # Last arrival in the window: max of `count` uniforms.
+            offset = float(rng.uniform(0, interval, size=count).max())
+            last_update = window_start + offset
+            changed = True
+        else:
+            changed = last_update is not None and last_update > window_start
+        estimator.observe_poll(
+            poll_time=t, changed=count > 0,
+            last_update_time=(last_update if give_ages and count > 0
+                              else None),
+            interval=interval)
+    return estimator
+
+
+class TestLastUpdateAgeEstimator:
+    def test_no_data_returns_none(self):
+        assert LastUpdateAgeEstimator().estimate() is None
+
+    @pytest.mark.parametrize("rate", [0.05, 0.3, 1.0])
+    def test_converges_to_true_rate(self, rate):
+        rng = np.random.default_rng(42)
+        est = simulate_polls(LastUpdateAgeEstimator(), rate,
+                             interval=2.0, polls=4000, rng=rng)
+        assert est.estimate() == pytest.approx(rate, rel=0.12)
+
+    def test_unchanged_polls_lower_estimate(self):
+        est = LastUpdateAgeEstimator()
+        est.observe_poll(poll_time=1.0, changed=True, last_update_time=0.5,
+                         interval=1.0)
+        high = est.estimate()
+        for t in range(2, 12):
+            est.observe_poll(poll_time=float(t), changed=False,
+                             last_update_time=None, interval=1.0)
+        assert est.estimate() < high
+
+    def test_never_reaches_zero(self):
+        """Smoothing keeps the estimate positive so objects are not starved
+        of polls forever after a quiet streak."""
+        est = LastUpdateAgeEstimator()
+        for t in range(1, 50):
+            est.observe_poll(poll_time=float(t), changed=False,
+                             last_update_time=None, interval=1.0)
+        assert est.estimate() > 0.0
+
+    def test_age_clamped_to_window(self):
+        est = LastUpdateAgeEstimator(smoothing=0.0)
+        est.observe_poll(poll_time=10.0, changed=True,
+                         last_update_time=-50.0, interval=2.0)
+        # exposure clamped to the window: estimate = 1 / 2
+        assert est.estimate() == pytest.approx(0.5)
+
+    def test_zero_interval_ignored(self):
+        est = LastUpdateAgeEstimator()
+        est.observe_poll(poll_time=1.0, changed=True, last_update_time=0.9,
+                         interval=0.0)
+        assert est.estimate() is None
+
+
+class TestBinaryChangeEstimator:
+    def test_no_data_returns_none(self):
+        assert BinaryChangeEstimator().estimate() is None
+
+    @pytest.mark.parametrize("rate", [0.05, 0.3, 1.0])
+    def test_converges_to_true_rate(self, rate):
+        rng = np.random.default_rng(43)
+        est = simulate_polls(BinaryChangeEstimator(), rate,
+                             interval=1.0, polls=6000, rng=rng,
+                             give_ages=False)
+        assert est.estimate() == pytest.approx(rate, rel=0.12)
+
+    def test_all_changed_stays_finite(self):
+        """The naive -log(1 - x/k) estimator blows up at x = k; the
+        bias-reduced form must stay finite."""
+        est = BinaryChangeEstimator()
+        for t in range(1, 30):
+            est.observe_poll(poll_time=float(t), changed=True,
+                             last_update_time=None, interval=1.0)
+        estimate = est.estimate()
+        assert np.isfinite(estimate) and estimate > 1.0
+
+    def test_none_changed_gives_small_positive(self):
+        est = BinaryChangeEstimator()
+        for t in range(1, 30):
+            est.observe_poll(poll_time=float(t), changed=False,
+                             last_update_time=None, interval=1.0)
+        estimate = est.estimate()
+        assert 0.0 < estimate < 0.05
+
+    def test_observation_counter(self):
+        est = BinaryChangeEstimator()
+        est.observe_poll(1.0, True, None, 1.0)
+        est.observe_poll(2.0, False, None, 1.0)
+        assert est.observations == 2
+
+    def test_cgm1_beats_cgm2_accuracy(self):
+        """Seeing update timestamps is strictly more information; over many
+        repetitions CGM1's estimator should have smaller error."""
+        rng = np.random.default_rng(44)
+        rate, interval, polls = 0.4, 2.0, 300
+        errs1, errs2 = [], []
+        for _ in range(30):
+            e1 = simulate_polls(LastUpdateAgeEstimator(), rate, interval,
+                                polls, rng)
+            e2 = simulate_polls(BinaryChangeEstimator(), rate, interval,
+                                polls, rng, give_ages=False)
+            errs1.append(abs(e1.estimate() - rate))
+            errs2.append(abs(e2.estimate() - rate))
+        assert np.mean(errs1) <= np.mean(errs2) * 1.5

@@ -1,0 +1,101 @@
+"""Tests for CGM freshness math, including a Monte Carlo cross-check."""
+
+import numpy as np
+import pytest
+
+from repro.cgm.freshness import (
+    freshness,
+    marginal_benefit,
+    phi,
+    phi_inverse,
+    staleness,
+    staleness_at_frequency,
+)
+
+
+class TestFreshnessFormula:
+    def test_limits(self):
+        assert freshness(1.0, 1e-9) == pytest.approx(1.0, abs=1e-6)
+        assert freshness(1.0, np.inf) == 0.0
+        assert freshness(0.0, 100.0) == 1.0
+
+    def test_known_value(self):
+        # F(1, 1) = 1 - e^{-1}
+        assert freshness(1.0, 1.0) == pytest.approx(1.0 - np.exp(-1.0))
+
+    def test_monotone_decreasing_in_interval(self):
+        intervals = np.linspace(0.01, 50.0, 200)
+        values = freshness(0.7, intervals)
+        assert (np.diff(values) < 0).all()
+
+    def test_staleness_complements_freshness(self):
+        assert staleness(0.5, 2.0) == pytest.approx(
+            1.0 - freshness(0.5, 2.0))
+
+    def test_staleness_at_zero_frequency(self):
+        assert staleness_at_frequency(0.5, 0.0) == 1.0
+        assert staleness_at_frequency(0.0, 0.0) == 0.0
+
+    def test_vectorized(self):
+        rates = np.array([0.1, 1.0, 10.0])
+        out = staleness_at_frequency(rates, np.array([1.0, 1.0, 0.0]))
+        assert out.shape == (3,)
+        assert out[0] < out[1] < out[2]
+
+    def test_monte_carlo_agreement(self):
+        """Simulate Poisson updates + periodic refreshes and compare the
+        measured stale fraction against the closed form."""
+        rng = np.random.default_rng(7)
+        rate, interval, horizon = 0.8, 2.5, 40_000.0
+        updates = np.cumsum(rng.exponential(1.0 / rate,
+                                            int(rate * horizon * 1.3)))
+        updates = updates[updates < horizon]
+        stale_time = 0.0
+        refresh_times = np.arange(0.0, horizon, interval)
+        for start in refresh_times:
+            end = min(start + interval, horizon)
+            inside = updates[(updates >= start) & (updates < end)]
+            if len(inside):
+                stale_time += end - inside[0]
+        measured = stale_time / horizon
+        assert measured == pytest.approx(staleness(rate, interval),
+                                         abs=0.01)
+
+
+class TestPhi:
+    def test_phi_range_and_monotonicity(self):
+        x = np.linspace(0.0, 20.0, 100)
+        values = phi(x)
+        assert values[0] == 0.0
+        assert (np.diff(values) > 0).all()
+        assert values[-1] < 1.0
+
+    def test_phi_inverse_round_trip(self):
+        c = np.array([0.0, 0.1, 0.5, 0.9, 0.999])
+        x = phi_inverse(c)
+        np.testing.assert_allclose(phi(x), c, atol=1e-9)
+
+    def test_phi_inverse_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            phi_inverse(np.array([1.0]))
+        with pytest.raises(ValueError):
+            phi_inverse(np.array([-0.1]))
+
+
+class TestMarginalBenefit:
+    def test_increasing_in_interval(self):
+        intervals = np.linspace(0.01, 100.0, 500)
+        g = marginal_benefit(np.full_like(intervals, 2.0), intervals)
+        # Strictly increasing until float64 saturates at the 1/lambda
+        # asymptote; never decreasing anywhere.
+        assert (np.diff(g) >= 0).all()
+        short = np.linspace(0.01, 5.0, 200)
+        g_short = marginal_benefit(np.full_like(short, 2.0), short)
+        assert (np.diff(g_short) > 0).all()
+
+    def test_saturates_at_inverse_rate(self):
+        g = marginal_benefit(np.array([2.0]), np.array([1e6]))
+        assert g[0] == pytest.approx(0.5, rel=1e-6)
+
+    def test_zero_rate_gives_zero_benefit(self):
+        assert marginal_benefit(np.array([0.0]), np.array([5.0]))[0] == 0.0

@@ -1,0 +1,97 @@
+"""Tests for the CGM poll scheduler."""
+
+import numpy as np
+import pytest
+
+from repro.cgm.poller import PollScheduler
+
+
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestScheduling:
+    def test_due_before_set_frequencies_empty(self):
+        scheduler = PollScheduler()
+        assert scheduler.due(100.0) == []
+
+    def test_reschedule_before_set_frequencies_raises(self):
+        with pytest.raises(RuntimeError):
+            PollScheduler().reschedule(0, 0.0)
+
+    def test_initial_phases_within_one_period(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([0.5, 0.5]), now=10.0,
+                                  rng=rng())
+        # Both objects must come due within one period (2.0s).
+        due = []
+        for t in np.arange(10.0, 12.01, 0.01):
+            due.extend(scheduler.due(t))
+        assert sorted(due) == [0, 1]
+
+    def test_zero_frequency_objects_never_scheduled(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([0.0, 1.0]), now=0.0,
+                                  rng=rng())
+        due = scheduler.due(100.0)
+        assert 0 not in due and 1 in due
+
+    def test_reschedule_honors_period(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([0.25]), now=0.0, rng=rng())
+        first = scheduler.due(4.0)
+        assert first == [0]
+        scheduler.reschedule(0, 4.0)
+        assert scheduler.due(7.9) == []
+        assert scheduler.due(8.0) == [0]
+
+    def test_reschedule_with_custom_delay(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([0.1]), now=0.0, rng=rng())
+        scheduler.due(20.0)
+        scheduler.reschedule(0, 20.0, delay=1.0)
+        assert scheduler.due(21.0) == [0]
+
+    def test_poll_rate_matches_frequency(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([2.0]), now=0.0, rng=rng())
+        polls = 0
+        for t in np.arange(0.0, 100.0, 0.5):
+            for index in scheduler.due(t):
+                polls += 1
+                scheduler.reschedule(index, t)
+        assert polls == pytest.approx(200, rel=0.05)
+
+
+class TestReallocation:
+    def test_new_allocation_supersedes_old_entries(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([1.0, 1.0]), now=0.0,
+                                  rng=rng())
+        scheduler.set_frequencies(np.array([0.0, 1.0]), now=0.0,
+                                  rng=rng())
+        due = scheduler.due(10.0)
+        assert 0 not in due  # the old epoch's entry for object 0 is stale
+        assert due.count(1) == 1  # and object 1 appears exactly once
+
+    def test_negative_frequency_rejected(self):
+        scheduler = PollScheduler()
+        with pytest.raises(ValueError):
+            scheduler.set_frequencies(np.array([-0.1]), now=0.0,
+                                      rng=rng())
+
+    def test_pending_counts_live_entries(self):
+        scheduler = PollScheduler()
+        scheduler.set_frequencies(np.array([1.0, 1.0, 0.0]), now=0.0,
+                                  rng=rng())
+        assert scheduler.pending() == 2
+        scheduler.set_frequencies(np.array([1.0, 0.0, 0.0]), now=0.0,
+                                  rng=rng())
+        assert scheduler.pending() == 1
+
+    def test_frequencies_property(self):
+        scheduler = PollScheduler()
+        assert scheduler.frequencies is None
+        freqs = np.array([0.5])
+        scheduler.set_frequencies(freqs, now=0.0, rng=rng())
+        np.testing.assert_array_equal(scheduler.frequencies, freqs)

@@ -1,0 +1,75 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_e1_defaults(self):
+        args = build_parser().parse_args(["e1"])
+        assert args.objects == 100
+        assert args.warmup == 100.0
+
+    def test_fig6_custom_fractions(self):
+        args = build_parser().parse_args(
+            ["fig6", "--fractions", "0.2", "0.8"])
+        assert args.fractions == [0.2, 0.8]
+
+    def test_fig5_flags(self):
+        args = build_parser().parse_args(["fig5", "--fluctuating",
+                                          "--days", "2"])
+        assert args.fluctuating is True
+        assert args.days == 2.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig7"])
+
+
+class TestExecution:
+    def test_e1_tiny_run(self, capsys):
+        code = main(["e1", "--objects", "10", "--warmup", "10",
+                     "--measure", "50"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "staleness" in out and "lag" in out
+
+    def test_e2_tiny_run(self, capsys):
+        assert main(["e2", "--warmup", "20", "--measure", "80"]) == 0
+        assert "skewed" in capsys.readouterr().out
+
+    def test_e3_tiny_run(self, capsys):
+        assert main(["e3", "--alphas", "1.1", "--omegas", "10",
+                     "--sources", "2", "--objects", "5",
+                     "--warmup", "10", "--measure", "50"]) == 0
+        assert "best setting" in capsys.readouterr().out
+
+    def test_fig4_tiny_run(self, capsys):
+        assert main(["fig4", "--sources", "2", "--objects", "5",
+                     "--cache-bandwidths", "5",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        assert "Figure 4" in capsys.readouterr().out
+
+    def test_fig5_tiny_run(self, capsys):
+        assert main(["fig5", "--bandwidths", "5", "--days", "1",
+                     "--warmup-days", "0.25"]) == 0
+        assert "Figure 5" in capsys.readouterr().out
+
+    def test_fig6_tiny_run(self, capsys):
+        assert main(["fig6", "--sources", "2", "--objects", "5",
+                     "--fractions", "0.5",
+                     "--warmup", "20", "--measure", "80"]) == 0
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_output_file(self, tmp_path, capsys):
+        out_file = tmp_path / "result.txt"
+        assert main(["--output", str(out_file), "e1",
+                     "--objects", "5", "--warmup", "10",
+                     "--measure", "40"]) == 0
+        assert out_file.read_text().strip() != ""
+        assert "uniform" in out_file.read_text()

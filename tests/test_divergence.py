@@ -1,0 +1,67 @@
+"""Tests for the three divergence metrics (paper Sec 3.1)."""
+
+import pytest
+
+from repro.core.divergence import (
+    Lag,
+    Staleness,
+    ValueDeviation,
+    absolute_difference,
+    make_metric,
+)
+
+
+class TestStaleness:
+    def test_zero_when_values_equal(self):
+        assert Staleness().compute(5.0, 5.0, 0) == 0.0
+
+    def test_one_when_values_differ(self):
+        assert Staleness().compute(5.0, 4.0, 1) == 1.0
+
+    def test_random_walk_return_makes_fresh_again(self):
+        """The paper defines staleness by *value* inequality, so a walk
+        that returns to the cached value is fresh without a refresh."""
+        assert Staleness().compute(5.0, 5.0, 2) == 0.0
+
+
+class TestLag:
+    def test_counts_unpropagated_updates(self):
+        assert Lag().compute(9.0, 5.0, 3) == 3.0
+
+    def test_zero_when_synchronized(self):
+        assert Lag().compute(5.0, 5.0, 0) == 0.0
+
+    def test_ignores_values(self):
+        assert Lag().compute(0.0, 100.0, 7) == 7.0
+
+
+class TestValueDeviation:
+    def test_default_is_absolute_difference(self):
+        assert ValueDeviation().compute(7.5, 5.0, 1) == pytest.approx(2.5)
+        assert ValueDeviation().compute(5.0, 7.5, 1) == pytest.approx(2.5)
+
+    def test_custom_delta(self):
+        squared = ValueDeviation(delta=lambda a, b: (a - b) ** 2)
+        assert squared.compute(5.0, 3.0, 1) == pytest.approx(4.0)
+
+    def test_negative_delta_rejected(self):
+        bad = ValueDeviation(delta=lambda a, b: a - b)
+        with pytest.raises(ValueError):
+            bad.compute(3.0, 5.0, 1)
+
+    def test_absolute_difference_helper(self):
+        assert absolute_difference(1.0, -2.0) == 3.0
+
+
+class TestMakeMetric:
+    @pytest.mark.parametrize("name,cls", [
+        ("staleness", Staleness),
+        ("lag", Lag),
+        ("deviation", ValueDeviation),
+    ])
+    def test_factory(self, name, cls):
+        assert isinstance(make_metric(name), cls)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown divergence metric"):
+            make_metric("entropy")

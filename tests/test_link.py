@@ -1,0 +1,128 @@
+"""Tests for the credit-bucket link with FIFO overflow queue."""
+
+import pytest
+
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.link import Link
+from repro.network.messages import FeedbackMessage
+
+
+def make_link(rate=5.0, sink=None):
+    delivered = [] if sink is None else sink
+    link = Link("test", ConstantBandwidth(rate), deliver=delivered.append)
+    return link, delivered
+
+
+def msg(source_id=0):
+    return FeedbackMessage(source_id=source_id)
+
+
+class TestTrySend:
+    def test_try_send_without_credit_fails(self):
+        link, delivered = make_link()
+        assert not link.try_send(msg())
+        assert delivered == []
+
+    def test_try_send_with_credit_delivers_immediately(self):
+        link, delivered = make_link()
+        link.refill(1.0)
+        assert link.try_send(msg())
+        assert len(delivered) == 1
+
+    def test_try_send_consumes_credit(self):
+        link, _ = make_link(rate=2.0)
+        link.refill(1.0)  # 2 units
+        assert link.try_send(msg())
+        assert link.try_send(msg())
+        assert not link.try_send(msg())
+
+    def test_try_send_refuses_while_queue_nonempty(self):
+        """FIFO fairness: direct sends must not overtake queued messages."""
+        link, _ = make_link(rate=0.0)
+        link.enqueue(msg())
+        link.credit = 5.0
+        assert not link.try_send(msg())
+
+
+class TestQueueing:
+    def test_enqueue_then_drain_fifo(self):
+        link, delivered = make_link(rate=10.0)
+        first, second = msg(1), msg(2)
+        link.enqueue(first)
+        link.enqueue(second)
+        link.refill(1.0)
+        assert link.drain() == 2
+        assert delivered == [first, second]
+
+    def test_drain_limited_by_credit(self):
+        link, delivered = make_link(rate=2.0)
+        for i in range(5):
+            link.enqueue(msg(i))
+        link.refill(1.0)
+        assert link.drain() == 2
+        assert link.queued == 3
+
+    def test_messages_never_lost(self):
+        link, delivered = make_link(rate=1.0)
+        total = 17
+        for i in range(total):
+            link.enqueue(msg(i))
+        now = 0.0
+        for _ in range(40):
+            now += 1.0
+            link.refill(now)
+            link.drain()
+        assert len(delivered) + link.queued == total
+        assert len(delivered) == total  # 40 ticks at 1/tick is enough
+
+    def test_queued_peak_tracked(self):
+        link, _ = make_link(rate=0.0)
+        for i in range(4):
+            link.enqueue(msg(i))
+        assert link.total_queued_peak == 4
+
+
+class TestCredit:
+    def test_refill_accrues_profile_capacity(self):
+        link, _ = make_link(rate=3.0)
+        link.refill(2.0)
+        assert link.credit == pytest.approx(6.0)
+
+    def test_carryover_capped_at_one_tick(self):
+        link, _ = make_link(rate=5.0)
+        link.refill(1.0)  # 5 credits, unused
+        link.refill(2.0)  # carry capped at 5, plus 5 new
+        assert link.credit == pytest.approx(10.0)
+        link.refill(3.0)
+        assert link.credit == pytest.approx(10.0)  # still capped
+
+    def test_fractional_capacity_accumulates(self):
+        """0.5 msgs/tick must deliver one message every two ticks."""
+        link, delivered = make_link(rate=0.5)
+        link.enqueue(msg())
+        link.refill(1.0)
+        assert link.drain() == 0
+        link.refill(2.0)
+        assert link.drain() == 1
+
+    def test_utilization_and_surplus(self):
+        link, _ = make_link(rate=4.0)
+        link.enqueue(msg())
+        link.refill(1.0)
+        link.drain()
+        assert link.utilization() == pytest.approx(0.25)
+        assert link.surplus() == pytest.approx(3.0)
+
+    def test_surplus_zero_when_backlogged(self):
+        link, _ = make_link(rate=1.0)
+        link.enqueue(msg(0))
+        link.enqueue(msg(1))
+        link.refill(1.0)
+        link.drain()
+        assert link.queued == 1
+        assert link.surplus() == 0.0
+
+    def test_utilization_zero_with_no_capacity(self):
+        link, _ = make_link(rate=0.0)
+        link.refill(1.0)
+        assert link.utilization() == 0.0

@@ -1,0 +1,55 @@
+"""Tests for message dataclasses and their protocol fields."""
+
+from repro.network.messages import (
+    MESSAGE_SIZE,
+    BatchRefreshMessage,
+    FeedbackMessage,
+    PollRequest,
+    PollResponse,
+    RefreshMessage,
+)
+
+
+class TestMessageBasics:
+    def test_all_messages_have_unit_size(self):
+        messages = [
+            RefreshMessage(source_id=0),
+            BatchRefreshMessage(source_id=0,
+                                items=[(0, 1.0, 1), (1, 2.0, 3)]),
+            FeedbackMessage(source_id=0),
+            PollRequest(source_id=0),
+            PollResponse(source_id=0),
+        ]
+        for message in messages:
+            assert message.size == MESSAGE_SIZE == 1.0
+
+    def test_refresh_carries_protocol_fields(self):
+        message = RefreshMessage(source_id=3, object_index=17, value=2.5,
+                                 threshold=0.8, update_count=9,
+                                 sent_at=41.0)
+        assert message.source_id == 3
+        assert message.object_index == 17
+        assert message.value == 2.5
+        assert message.threshold == 0.8
+        assert message.update_count == 9
+        assert message.sent_at == 41.0
+
+    def test_refresh_default_threshold_is_infinite(self):
+        assert RefreshMessage(source_id=0).threshold == float("inf")
+
+    def test_batch_amortizes_items_into_one_unit(self):
+        """The whole point of Sec 10.1 batching: n items, one unit."""
+        batch = BatchRefreshMessage(
+            source_id=0, items=[(i, float(i), i) for i in range(10)])
+        assert len(batch.items) == 10
+        assert batch.size == 1.0
+
+    def test_poll_response_optional_timestamp(self):
+        cgm2_view = PollResponse(source_id=0, changed=True)
+        assert cgm2_view.last_update_time is None
+        cgm1_view = PollResponse(source_id=0, changed=True,
+                                 last_update_time=12.0)
+        assert cgm1_view.last_update_time == 12.0
+
+    def test_batch_items_default_empty(self):
+        assert BatchRefreshMessage(source_id=0).items == []

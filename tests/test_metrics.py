@@ -1,0 +1,178 @@
+"""Tests for time averaging, the divergence collector and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import SineWeights, StaticWeights
+from repro.metrics.accumulators import Counter, TimeAverager
+from repro.metrics.collector import DivergenceCollector
+from repro.metrics.report import (
+    RunResult,
+    ascii_plot,
+    format_series,
+    format_table,
+)
+
+
+class TestTimeAverager:
+    def test_piecewise_constant_average(self):
+        avg = TimeAverager()
+        avg.record(2.0, 1.0)  # 0 over [0,2]
+        avg.record(6.0, 3.0)  # 1 over [2,6]
+        avg.finalize(10.0)  # 3 over [6,10]
+        assert avg.average() == pytest.approx((0 * 2 + 1 * 4 + 3 * 4) / 10)
+
+    def test_warmup_discards_early_signal(self):
+        avg = TimeAverager(warmup=5.0)
+        avg.record(0.0, 10.0)
+        avg.record(5.0, 2.0)
+        avg.finalize(10.0)
+        assert avg.average() == pytest.approx(2.0)
+
+    def test_warmup_straddling_piece_partially_counted(self):
+        avg = TimeAverager(warmup=5.0)
+        avg.record(3.0, 4.0)  # piece [3,8] straddles the warmup boundary
+        avg.record(8.0, 0.0)
+        avg.finalize(10.0)
+        assert avg.integral() == pytest.approx(4.0 * 3.0)
+
+    def test_empty_window_is_zero(self):
+        avg = TimeAverager(warmup=10.0)
+        avg.finalize(5.0)
+        assert avg.average() == 0.0
+
+    def test_counter(self):
+        counter = Counter("polls")
+        counter.increment()
+        counter.increment(4)
+        assert counter.count == 5
+        assert counter.rate(10.0) == pytest.approx(0.5)
+        assert counter.rate(0.0) == 0.0
+
+
+class TestDivergenceCollector:
+    def test_event_driven_integration_matches_hand_computation(self):
+        weights = StaticWeights(np.array([2.0, 1.0]))
+        collector = DivergenceCollector(2, weights)
+        collector.record(0, 1.0, 3.0)  # obj0: 3 from t=1
+        collector.record(1, 2.0, 1.0)  # obj1: 1 from t=2
+        collector.record(0, 4.0, 0.0)  # obj0: back to 0 at t=4
+        collector.finalize(10.0)
+        # obj0: 3 * [1,4] = 9 unweighted, 18 weighted
+        # obj1: 1 * [2,10] = 8 unweighted, 8 weighted
+        assert collector.total_unweighted_average() == pytest.approx(1.7)
+        assert collector.total_weighted_average() == pytest.approx(2.6)
+        assert collector.mean_unweighted_average() == pytest.approx(0.85)
+
+    def test_warmup_cutoff(self):
+        collector = DivergenceCollector(1, StaticWeights.uniform(1),
+                                        warmup=5.0)
+        collector.record(0, 0.0, 2.0)
+        collector.finalize(10.0)
+        assert collector.total_unweighted_average() == pytest.approx(2.0)
+        assert collector.duration == pytest.approx(5.0)
+
+    def test_zero_divergence_costs_nothing(self):
+        collector = DivergenceCollector(1, StaticWeights.uniform(1))
+        collector.record(0, 1.0, 0.0)
+        collector.finalize(10.0)
+        assert collector.total_weighted_average() == 0.0
+
+    def test_matches_dense_sampling_oracle(self):
+        """Random event sequence: event-driven integration must agree with
+        brute-force dense sampling."""
+        rng = np.random.default_rng(0)
+        weights = StaticWeights(rng.uniform(0.5, 2.0, size=3))
+        collector = DivergenceCollector(3, weights, warmup=2.0)
+        events = sorted(
+            (float(t), int(rng.integers(0, 3)), float(rng.uniform(0, 4)))
+            for t in rng.uniform(0, 20, size=60))
+        collector_values = np.zeros(3)
+        dense_t = np.linspace(0, 20.0, 200_001)
+        dense = np.zeros((3, len(dense_t)))
+        cursor = 0
+        for t, idx, value in events:
+            collector.record(idx, t, value)
+            while cursor < len(dense_t) and dense_t[cursor] < t:
+                dense[:, cursor] = collector_values
+                cursor += 1
+            collector_values[idx] = value
+        while cursor < len(dense_t):
+            dense[:, cursor] = collector_values
+            cursor += 1
+        collector.finalize(20.0)
+        mask = dense_t >= 2.0
+        dt = dense_t[1] - dense_t[0]
+        expected = (dense[:, mask].sum(axis=1) * dt
+                    * weights.values).sum() / (20.0 - 2.0)
+        assert collector.total_weighted_average() == pytest.approx(
+            expected, rel=1e-3)
+
+    def test_resample_improves_fluctuating_weight_accuracy(self):
+        """With sine weights, frequent resampling must converge to the
+        exact integral; a single piece evaluated at its start must not."""
+        sine = SineWeights(base=np.array([1.0]), amplitude=np.array([0.9]),
+                           period=np.array([10.0]),
+                           phase=np.array([np.pi / 2]))  # w(0) = 1.9
+        # Exact: integral of d=1 * w(t) over [0, 10] = base * period = 10.
+        coarse = DivergenceCollector(1, sine)
+        coarse.record(0, 0.0, 1.0)
+        coarse.finalize(10.0)
+        fine = DivergenceCollector(1, sine)
+        fine.record(0, 0.0, 1.0)
+        for t in np.arange(0.1, 10.0, 0.1):
+            fine.resample(float(t))
+        fine.finalize(10.0)
+        exact = 1.0  # time-average of w over a full period = base
+        assert abs(fine.total_weighted_average() - exact) < 0.01
+        assert abs(coarse.total_weighted_average() - exact) > 0.1
+
+    def test_per_object_breakdown(self):
+        collector = DivergenceCollector(2, StaticWeights.uniform(2))
+        collector.record(0, 0.0, 1.0)
+        collector.finalize(10.0)
+        per_object = collector.per_object_weighted_average()
+        assert per_object[0] == pytest.approx(1.0)
+        assert per_object[1] == 0.0
+
+    def test_mismatched_weight_model_rejected(self):
+        with pytest.raises(ValueError):
+            DivergenceCollector(3, StaticWeights.uniform(2))
+
+
+class TestReporting:
+    def test_run_result_overhead_fraction(self):
+        result = RunResult(policy="x", metric="staleness", num_sources=1,
+                           num_objects=1, duration=10.0,
+                           weighted_divergence=0.5,
+                           unweighted_divergence=0.5,
+                           refreshes=80, feedback_messages=15,
+                           poll_messages=5, messages_total=100)
+        assert result.overhead_fraction == pytest.approx(0.2)
+
+    def test_overhead_fraction_empty(self):
+        result = RunResult(policy="x", metric="s", num_sources=1,
+                           num_objects=1, duration=1.0,
+                           weighted_divergence=0.0,
+                           unweighted_divergence=0.0)
+        assert result.overhead_fraction == 0.0
+
+    def test_format_table_alignment(self):
+        table = format_table(["name", "value"],
+                             [["a", 1.0], ["long-name", 123.456]],
+                             title="T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series("ours", [1.0, 2.0], [0.5, 0.25])
+        assert "ours" in text and "(1, 0.5)" in text
+
+    def test_ascii_plot_contains_markers(self):
+        plot = ascii_plot({"a": [(0, 0), (1, 1)], "b": [(0.5, 0.5)]})
+        assert "o = a" in plot and "x = b" in plot
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({}) == "(no data)"

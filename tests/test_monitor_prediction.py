@@ -1,0 +1,119 @@
+"""Focused tests for the Sec 8.2.1 predictive sampling mathematics.
+
+The paper derives the projected threshold-crossing time
+
+    t_future = t_last + sqrt((t_now - t_last)^2
+                             + 2 (T - P(O, t_now)) / (rho_i W))
+
+for divergence growing linearly at rate ``rho_i``.  These tests verify the
+algebra end-to-end: when divergence really does grow linearly, sampling an
+object exactly at the predicted time must find its priority at the
+threshold.
+"""
+
+import math
+
+import pytest
+
+from repro.core.divergence import ValueDeviation
+from repro.core.objects import DataObject
+from repro.core.priority import AreaPriority
+from repro.core.tracking import PriorityTracker
+from repro.core.weights import StaticWeights
+from repro.source.monitor import SamplingMonitor
+
+
+def linear_divergence_object(rate: float, until: float,
+                             step: float = 0.25) -> DataObject:
+    """An object whose deviation grows at exactly ``rate`` per second."""
+    obj = DataObject(index=0, source_id=0, value=0.0)
+    metric = ValueDeviation()
+    t = step
+    while t <= until + 1e-9:
+        obj.apply_update(t, rate * t, metric)
+        t += step
+    return obj
+
+
+class TestProjectedCrossing:
+    def test_area_priority_of_linear_divergence(self):
+        """For D(t) = rho * t the area priority is rho * t^2 / 2."""
+        rho = 0.8
+        obj = linear_divergence_object(rho, until=10.0, step=0.01)
+        priority = AreaPriority().unweighted(obj, 10.0)
+        assert priority == pytest.approx(rho * 100.0 / 2.0, rel=0.01)
+
+    def test_paper_formula_inverts_the_priority(self):
+        """Solving the paper's t_future formula forward: the priority at
+        t_future equals the threshold for linear divergence."""
+        rho, weight, threshold = 0.5, 2.0, 40.0
+        t_now = 6.0
+        priority_now = weight * rho * t_now ** 2 / 2.0
+        t_future = math.sqrt(t_now ** 2
+                             + 2.0 * (threshold - priority_now)
+                             / (rho * weight))
+        priority_future = weight * rho * t_future ** 2 / 2.0
+        assert priority_future == pytest.approx(threshold)
+
+    def test_sampler_prediction_lands_near_threshold(self):
+        """Drive a SamplingMonitor over a linearly diverging object and
+        check the predicted next-sample time against the true crossing."""
+        rho, threshold = 0.5, 30.0
+        tracker = PriorityTracker()
+        monitor = SamplingMonitor(
+            tracker, AreaPriority(), StaticWeights.uniform(1),
+            ValueDeviation(), interval=100.0, predictive=True,
+            threshold=lambda: threshold, min_interval=0.1)
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = ValueDeviation()
+        t = 0.05
+        while t <= 2.0 + 1e-9:  # divergence grows to rho * 2 by t = 2
+            obj.apply_update(t, rho * t, metric)
+            t += 0.05
+        monitor.sample(obj, 2.0)
+        while t <= 4.0 + 1e-9:  # ...and to rho * 4 by t = 4
+            obj.apply_update(t, rho * t, metric)
+            t += 0.05
+        monitor.sample(obj, 4.0)  # two samples establish the rate
+        predicted = monitor._next_sample[0]
+        # True crossing: rho t^2 / 2 = threshold  =>  t = sqrt(2T/rho)
+        true_crossing = math.sqrt(2.0 * threshold / rho)
+        assert predicted == pytest.approx(true_crossing, rel=0.1)
+
+    def test_prediction_clamped_to_regular_interval(self):
+        """Far-from-threshold objects fall back to the regular interval."""
+        tracker = PriorityTracker()
+        monitor = SamplingMonitor(
+            tracker, AreaPriority(), StaticWeights.uniform(1),
+            ValueDeviation(), interval=7.0, predictive=True,
+            threshold=lambda: 1e12)
+        obj = linear_divergence_object(0.1, until=2.0)
+        monitor.sample(obj, 1.0)
+        monitor.sample(obj, 2.0)
+        assert monitor._next_sample[0] - 2.0 <= 7.0 + 1e-9
+
+    def test_over_threshold_object_sampled_immediately(self):
+        tracker = PriorityTracker()
+        monitor = SamplingMonitor(
+            tracker, AreaPriority(), StaticWeights.uniform(1),
+            ValueDeviation(), interval=50.0, predictive=True,
+            threshold=lambda: 0.001, min_interval=0.5)
+        obj = linear_divergence_object(1.0, until=5.0)
+        monitor.sample(obj, 5.0)
+        assert monitor._next_sample[0] - 5.0 == pytest.approx(0.5)
+
+    def test_shrinking_divergence_uses_regular_interval(self):
+        """Negative observed rate (divergence falling) cannot predict a
+        crossing; the monitor must not crash or schedule in the past."""
+        tracker = PriorityTracker()
+        monitor = SamplingMonitor(
+            tracker, AreaPriority(), StaticWeights.uniform(1),
+            ValueDeviation(), interval=5.0, predictive=True,
+            threshold=lambda: 100.0)
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = ValueDeviation()
+        obj.apply_update(1.0, 4.0, metric)
+        monitor.sample(obj, 1.0)
+        obj.apply_update(2.0, 1.0, metric)  # walked back toward cache
+        monitor.sample(obj, 2.0)
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(5.0)

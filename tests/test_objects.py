@@ -1,0 +1,139 @@
+"""Tests for per-object synchronization state (belief vs. truth views)."""
+
+import pytest
+
+from repro.core.divergence import Lag, Staleness, ValueDeviation
+from repro.core.objects import DataObject, SyncView
+
+
+class TestSyncView:
+    def test_initial_state_synchronized(self):
+        view = SyncView(value=3.0, time=0.0)
+        assert view.divergence == 0.0
+        assert view.integral_at(10.0) == 0.0
+        assert view.area_priority(10.0) == 0.0
+
+    def test_integral_accrues_piecewise(self):
+        view = SyncView()
+        view.set_divergence(2.0, 1.0)  # divergence 1 from t=2
+        view.set_divergence(5.0, 3.0)  # divergence 3 from t=5
+        # integral over [0, 7]: 0*2 + 1*3 + 3*2 = 9
+        assert view.integral_at(7.0) == pytest.approx(9.0)
+
+    def test_area_priority_matches_definition(self):
+        view = SyncView()
+        view.set_divergence(2.0, 1.0)
+        view.set_divergence(5.0, 3.0)
+        now = 7.0
+        expected = (now - 0.0) * 3.0 - 9.0
+        assert view.area_priority(now) == pytest.approx(expected)
+
+    def test_reset_clears_history(self):
+        view = SyncView()
+        view.set_divergence(1.0, 4.0)
+        view.reset(3.0, value=9.0, count=5)
+        assert view.divergence == 0.0
+        assert view.reference_value == 9.0
+        assert view.reference_count == 5
+        assert view.integral_at(10.0) == 0.0
+
+    def test_accrue_is_idempotent_at_same_time(self):
+        view = SyncView()
+        view.set_divergence(1.0, 2.0)
+        view.accrue(4.0)
+        view.accrue(4.0)
+        assert view.integral_at(4.0) == pytest.approx(6.0)
+
+
+class TestDataObjectUpdates:
+    def test_update_advances_both_views(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        obj.apply_update(1.0, 1.0, Staleness())
+        assert obj.belief.divergence == 1.0
+        assert obj.truth.divergence == 1.0
+        assert obj.update_count == 1
+        assert obj.last_update_time == 1.0
+
+    def test_lag_counts_against_each_view_reference(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = Lag()
+        obj.apply_update(1.0, 1.0, metric)
+        obj.apply_update(2.0, 2.0, metric)
+        obj.mark_sent(2.0)
+        obj.apply_update(3.0, 3.0, metric)
+        assert obj.belief.divergence == 1.0  # one update since send
+        assert obj.truth.divergence == 3.0  # three since cache applied
+
+    def test_mark_sent_resets_belief_only(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        obj.apply_update(1.0, 5.0, ValueDeviation())
+        obj.mark_sent(1.5)
+        assert obj.belief.divergence == 0.0
+        assert obj.truth.divergence == pytest.approx(5.0)
+
+    def test_apply_refresh_with_current_snapshot_synchronizes(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = ValueDeviation()
+        obj.apply_update(1.0, 5.0, metric)
+        obj.apply_refresh(2.0, delivered_value=5.0, delivered_count=1,
+                          metric=metric)
+        assert obj.truth.divergence == 0.0
+
+    def test_apply_refresh_with_stale_snapshot_keeps_residual(self):
+        """A refresh delayed in a queue delivers an old value; truth
+        divergence must reflect the updates that happened in flight."""
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = ValueDeviation()
+        obj.apply_update(1.0, 5.0, metric)
+        obj.mark_sent(1.0)  # snapshot value=5, count=1
+        obj.apply_update(2.0, 8.0, metric)
+        obj.apply_refresh(3.0, delivered_value=5.0, delivered_count=1,
+                          metric=metric)
+        assert obj.truth.divergence == pytest.approx(3.0)
+
+    def test_apply_refresh_stale_snapshot_lag(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = Lag()
+        for k in range(4):
+            obj.apply_update(float(k + 1), float(k + 1), metric)
+        obj.apply_refresh(5.0, delivered_value=2.0, delivered_count=2,
+                          metric=metric)
+        assert obj.truth.divergence == pytest.approx(2.0)
+
+    def test_sync_views_synchronizes_everything(self):
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = Staleness()
+        obj.apply_update(1.0, 1.0, metric)
+        obj.sync_views(2.0)
+        assert obj.belief.divergence == 0.0
+        assert obj.truth.divergence == 0.0
+        assert obj.belief.reference_value == 1.0
+
+
+class TestPriorityIdentity:
+    def test_lag_area_priority_telescopes_to_update_offsets(self):
+        """Algebraic identity: for the lag metric the general area priority
+        equals the sum over unpropagated updates of
+        ``(update_time - last_refresh_time)``.  (In expectation under a
+        Poisson process this is ``u (u + 1) / (2 lambda)``, the paper's
+        special-case formula.)"""
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = Lag()
+        update_times = [1.0, 2.5, 4.0, 4.5]
+        for k, t in enumerate(update_times):
+            obj.apply_update(t, float(k + 1), metric)
+        for now in (4.5, 6.0, 11.0):
+            expected = sum(t - 0.0 for t in update_times)
+            assert obj.belief.area_priority(now) == pytest.approx(expected)
+
+    def test_staleness_area_priority_is_time_stayed_fresh(self):
+        """For staleness, the area above the curve is the time the object
+        remained fresh after its refresh -- objects that stay fresh long
+        are the best candidates to refresh again (expected value 1/lambda,
+        the paper's special case)."""
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = Staleness()
+        obj.apply_update(2.0, 1.0, metric)
+        obj.apply_update(4.0, 2.0, metric)
+        now = 9.0
+        assert obj.belief.area_priority(now) == pytest.approx(2.0 - 0.0)

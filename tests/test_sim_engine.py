@@ -1,0 +1,121 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim.engine import SimulationError, Simulator
+from repro.sim.events import Phase
+
+
+class TestScheduling:
+    def test_schedule_runs_at_relative_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(2.5, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [2.5]
+
+    def test_at_runs_at_absolute_time(self):
+        sim = Simulator()
+        seen = []
+        sim.at(4.0, lambda: seen.append(sim.now))
+        sim.run_until(10.0)
+        assert seen == [4.0]
+
+    def test_schedule_into_past_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_at_into_past_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.at(4.0, lambda: None)
+
+    def test_now_advances_to_end_time(self):
+        sim = Simulator()
+        sim.run_until(7.0)
+        assert sim.now == pytest.approx(7.0)
+
+    def test_events_at_end_time_execute(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5.0, lambda: seen.append("fired"))
+        sim.run_until(5.0)
+        assert seen == ["fired"]
+
+    def test_events_after_end_time_do_not_execute(self):
+        sim = Simulator()
+        seen = []
+        sim.at(5.1, lambda: seen.append("fired"))
+        sim.run_until(5.0)
+        assert seen == []
+        sim.run_until(6.0)
+        assert seen == ["fired"]
+
+    def test_step_executes_one_event(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(2.0, lambda: seen.append(2))
+        assert sim.step()
+        assert seen == [1]
+        assert sim.step()
+        assert seen == [1, 2]
+        assert not sim.step()
+
+
+class TestTickers:
+    def test_ticker_fires_every_interval(self):
+        sim = Simulator()
+        times = []
+        sim.every(1.0, times.append)
+        sim.run_until(5.0)
+        assert times == [1.0, 2.0, 3.0, 4.0, 5.0]
+
+    def test_ticker_custom_start(self):
+        sim = Simulator()
+        times = []
+        sim.every(2.0, times.append, start=0.5)
+        sim.run_until(5.0)
+        assert times == [0.5, 2.5, 4.5]
+
+    def test_ticker_cancel_stops_firing(self):
+        sim = Simulator()
+        times = []
+        ticker = sim.every(1.0, times.append)
+        sim.run_until(2.0)
+        ticker.cancel()
+        sim.run_until(5.0)
+        assert times == [1.0, 2.0]
+
+    def test_nonpositive_interval_raises(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda t: None)
+
+    def test_cancel_all_tickers(self):
+        sim = Simulator()
+        times_a, times_b = [], []
+        sim.every(1.0, times_a.append)
+        sim.every(1.0, times_b.append)
+        sim.cancel_all_tickers()
+        sim.run_until(3.0)
+        assert times_a == [] and times_b == []
+
+    def test_phase_order_within_tick(self):
+        sim = Simulator()
+        order = []
+        sim.every(1.0, lambda t: order.append("cache"), phase=Phase.CACHE)
+        sim.every(1.0, lambda t: order.append("updates"),
+                  phase=Phase.UPDATES)
+        sim.every(1.0, lambda t: order.append("network"),
+                  phase=Phase.NETWORK)
+        sim.run_until(1.0)
+        assert order == ["updates", "network", "cache"]
+
+    def test_pending_events_counts_live(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.every(1.0, lambda t: None)
+        assert sim.pending_events == 2

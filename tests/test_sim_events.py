@@ -1,0 +1,85 @@
+"""Tests for the event queue primitives."""
+
+import pytest
+
+from repro.sim.events import Event, EventQueue, Phase
+
+
+class TestPhaseOrdering:
+    def test_phases_are_ordered(self):
+        assert Phase.UPDATES < Phase.NETWORK < Phase.SOURCES
+        assert Phase.SOURCES < Phase.CACHE < Phase.METRICS < Phase.DEFAULT
+
+    def test_event_sort_key_uses_time_first(self):
+        early = Event(1.0, Phase.DEFAULT, 5, lambda: None)
+        late = Event(2.0, Phase.UPDATES, 0, lambda: None)
+        assert early < late
+
+    def test_event_sort_key_uses_phase_second(self):
+        updates = Event(1.0, Phase.UPDATES, 9, lambda: None)
+        cache = Event(1.0, Phase.CACHE, 0, lambda: None)
+        assert updates < cache
+
+    def test_event_sort_key_uses_seq_last(self):
+        first = Event(1.0, Phase.CACHE, 0, lambda: None)
+        second = Event(1.0, Phase.CACHE, 1, lambda: None)
+        assert first < second
+
+
+class TestEventQueue:
+    def test_pop_empty_returns_none(self):
+        queue = EventQueue()
+        assert queue.pop() is None
+        assert queue.peek_time() is None
+
+    def test_pop_order_is_time_phase_seq(self):
+        queue = EventQueue()
+        order = []
+        queue.push(2.0, Phase.UPDATES, lambda: order.append("c"))
+        queue.push(1.0, Phase.CACHE, lambda: order.append("b"))
+        queue.push(1.0, Phase.UPDATES, lambda: order.append("a"))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["a", "b", "c"]
+
+    def test_fifo_among_equal_keys(self):
+        queue = EventQueue()
+        order = []
+        for tag in ("x", "y", "z"):
+            queue.push(1.0, Phase.DEFAULT,
+                       lambda tag=tag: order.append(tag))
+        while (event := queue.pop()) is not None:
+            event.action()
+        assert order == ["x", "y", "z"]
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        queue.push(1.0, Phase.DEFAULT, lambda: None)
+        event = queue.push(2.0, Phase.DEFAULT, lambda: None)
+        assert len(queue) == 2
+        event.cancel()
+        queue.peek_time()  # force lazy discard
+        assert len(queue) == 1
+
+    def test_cancelled_event_is_skipped(self):
+        queue = EventQueue()
+        event = queue.push(1.0, Phase.DEFAULT, lambda: None)
+        keeper = queue.push(2.0, Phase.DEFAULT, lambda: None)
+        event.cancel()
+        assert queue.pop() is keeper
+        assert queue.pop() is None
+
+    def test_cancel_is_idempotent(self):
+        queue = EventQueue()
+        event = queue.push(1.0, Phase.DEFAULT, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert queue.pop() is None
+
+    def test_peek_time_reports_next_live_event(self):
+        queue = EventQueue()
+        first = queue.push(1.0, Phase.DEFAULT, lambda: None)
+        queue.push(3.0, Phase.DEFAULT, lambda: None)
+        assert queue.peek_time() == pytest.approx(1.0)
+        first.cancel()
+        assert queue.peek_time() == pytest.approx(3.0)

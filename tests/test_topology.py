@@ -1,0 +1,131 @@
+"""Tests for the star topology routing rules."""
+
+import pytest
+
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.messages import (
+    FeedbackMessage,
+    PollRequest,
+    PollResponse,
+    RefreshMessage,
+)
+from repro.network.topology import StarTopology
+
+
+def make_topology(cache_rate=10.0, source_rates=(2.0, 2.0)):
+    return StarTopology(ConstantBandwidth(cache_rate),
+                        [ConstantBandwidth(r) for r in source_rates])
+
+
+class TestUpstream:
+    def test_upstream_needs_source_credit(self):
+        topo = make_topology()
+        message = RefreshMessage(source_id=0, object_index=0)
+        assert not topo.send_upstream(message)  # no refill yet
+        topo.on_network_tick(1.0)
+        assert topo.send_upstream(message)
+
+    def test_upstream_respects_per_source_limits(self):
+        topo = make_topology(source_rates=(1.0, 1.0))
+        topo.on_network_tick(1.0)
+        assert topo.send_upstream(RefreshMessage(source_id=0))
+        assert not topo.send_upstream(RefreshMessage(source_id=0))
+        assert topo.send_upstream(RefreshMessage(source_id=1))
+
+    def test_upstream_delivers_immediately_with_capacity(self):
+        """Propagation latency is neglected: an uncongested cache link
+        delivers in-tick."""
+        topo = make_topology()
+        topo.on_network_tick(1.0)
+        received = []
+        topo.set_cache_receiver(received.append)
+        message = RefreshMessage(source_id=0)
+        topo.send_upstream(message)
+        assert received == [message]
+
+    def test_upstream_queues_when_cache_link_saturated(self):
+        topo = make_topology(cache_rate=1.0, source_rates=(10.0,))
+        topo.on_network_tick(1.0)
+        received = []
+        topo.set_cache_receiver(received.append)
+        for _ in range(3):
+            topo.send_upstream(RefreshMessage(source_id=0))
+        assert len(received) == 1  # capacity 1, rest queued
+        assert topo.cache_link.queued == 2
+        topo.on_network_tick(2.0)
+        assert len(received) == 2  # drains FIFO as credit returns
+
+    def test_upstream_unconstrained_bypasses_source_link(self):
+        topo = make_topology(source_rates=(0.0,))
+        received = []
+        topo.set_cache_receiver(received.append)
+        topo.send_upstream_unconstrained(PollResponse(source_id=0))
+        topo.on_network_tick(1.0)
+        assert len(received) == 1
+
+    def test_source_at_capacity(self):
+        topo = make_topology(source_rates=(1.0, 5.0))
+        topo.on_network_tick(1.0)
+        topo.send_upstream(RefreshMessage(source_id=0))
+        assert topo.source_at_capacity(0)
+        assert not topo.source_at_capacity(1)
+
+
+class TestDownstream:
+    def test_downstream_consumes_cache_credit(self):
+        topo = make_topology(cache_rate=2.0)
+        topo.on_network_tick(1.0)
+        received = []
+        topo.set_source_receiver(0, received.append)
+        assert topo.send_downstream(FeedbackMessage(source_id=0))
+        assert topo.send_downstream(FeedbackMessage(source_id=0))
+        assert not topo.send_downstream(FeedbackMessage(source_id=0))
+        assert len(received) == 2
+
+    def test_downstream_delivery_is_immediate(self):
+        topo = make_topology()
+        topo.on_network_tick(1.0)
+        received = []
+        topo.set_source_receiver(1, received.append)
+        request = PollRequest(source_id=1, object_index=3)
+        assert topo.send_downstream(request)
+        assert received == [request]
+
+
+class TestSharedCacheLink:
+    def test_upstream_and_downstream_share_capacity(self):
+        """The paper's buoy experiment constrains *total* messages on the
+        cache link; feedback spends the same budget as refreshes."""
+        topo = make_topology(cache_rate=3.0)
+        received = []
+        topo.set_cache_receiver(received.append)
+        topo.on_network_tick(1.0)
+        for _ in range(3):
+            assert topo.send_downstream(FeedbackMessage(source_id=0))
+        topo.send_upstream_unconstrained(RefreshMessage(source_id=0))
+        topo.cache_link.drain()
+        assert received == []  # all credit went to feedback
+
+    def test_total_messages_counts_everything(self):
+        topo = make_topology()
+        topo.on_network_tick(1.0)
+        topo.send_upstream(RefreshMessage(source_id=0))
+        topo.send_downstream(FeedbackMessage(source_id=1))
+        assert topo.total_messages() >= 2
+
+    def test_num_sources(self):
+        assert make_topology().num_sources == 2
+
+    def test_conservation_under_congestion(self):
+        """Messages sent = delivered + still queued, always."""
+        topo = make_topology(cache_rate=1.0)
+        received = []
+        topo.set_cache_receiver(received.append)
+        for tick in range(1, 6):
+            topo.on_network_tick(float(tick))
+            for _ in range(3):
+                topo.send_upstream_unconstrained(
+                    RefreshMessage(source_id=0))
+        link = topo.cache_link
+        assert link.total_delivered == len(received)
+        assert link.total_sent == link.total_delivered + link.queued

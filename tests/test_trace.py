@@ -1,0 +1,122 @@
+"""Tests for update traces: validation, replay, CSV round-trip."""
+
+import numpy as np
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.workloads.trace import TraceReplayer, UpdateTrace
+
+
+def small_trace():
+    return UpdateTrace(
+        num_objects=3,
+        times=np.array([1.0, 2.0, 2.0, 5.5]),
+        object_indices=np.array([0, 1, 0, 2]),
+        values=np.array([1.0, -1.0, 2.0, 7.5]),
+        initial_values=np.array([0.0, 10.0, -5.0]),
+    )
+
+
+class TestValidation:
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateTrace(num_objects=1, times=np.array([1.0]),
+                        object_indices=np.array([0, 0]),
+                        values=np.array([1.0]))
+
+    def test_unsorted_times_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateTrace(num_objects=1, times=np.array([2.0, 1.0]),
+                        object_indices=np.array([0, 0]),
+                        values=np.array([1.0, 2.0]))
+
+    def test_out_of_range_object_rejected(self):
+        with pytest.raises(ValueError):
+            UpdateTrace(num_objects=1, times=np.array([1.0]),
+                        object_indices=np.array([1]),
+                        values=np.array([1.0]))
+
+    def test_default_initial_values_are_zero(self):
+        trace = UpdateTrace(num_objects=2, times=np.array([1.0]),
+                            object_indices=np.array([0]),
+                            values=np.array([1.0]))
+        np.testing.assert_array_equal(trace.initial_values, [0.0, 0.0])
+
+    def test_horizon(self):
+        assert small_trace().horizon == 5.5
+        empty = UpdateTrace(num_objects=1, times=np.array([]),
+                            object_indices=np.array([]),
+                            values=np.array([]))
+        assert empty.horizon == 0.0
+
+
+class TestDerivedStats:
+    def test_updates_per_object(self):
+        np.testing.assert_array_equal(small_trace().updates_per_object(),
+                                      [2, 1, 1])
+
+    def test_empirical_rates(self):
+        rates = small_trace().empirical_rates(horizon=10.0)
+        np.testing.assert_allclose(rates, [0.2, 0.1, 0.1])
+
+    def test_iteration(self):
+        rows = list(small_trace())
+        assert rows[0] == (1.0, 0, 1.0)
+        assert len(rows) == 4
+
+
+class TestCsvRoundTrip:
+    def test_round_trip(self, tmp_path):
+        trace = small_trace()
+        path = str(tmp_path / "trace.csv")
+        trace.to_csv(path)
+        loaded = UpdateTrace.from_csv(path)
+        assert loaded.num_objects == trace.num_objects
+        np.testing.assert_allclose(loaded.times, trace.times)
+        np.testing.assert_array_equal(loaded.object_indices,
+                                      trace.object_indices)
+        np.testing.assert_allclose(loaded.values, trace.values)
+        np.testing.assert_allclose(loaded.initial_values,
+                                   trace.initial_values)
+
+    def test_bad_header_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("a,b,c\n1,2,3\n")
+        with pytest.raises(ValueError):
+            UpdateTrace.from_csv(str(path))
+
+
+class TestReplayer:
+    def test_replays_all_updates_in_order(self):
+        sim = Simulator()
+        seen = []
+        TraceReplayer(sim, small_trace(),
+                      lambda t, i, v: seen.append((t, i, v)))
+        sim.run_until(10.0)
+        assert seen == [(1.0, 0, 1.0), (2.0, 1, -1.0), (2.0, 0, 2.0),
+                        (5.5, 2, 7.5)]
+
+    def test_only_one_event_in_flight(self):
+        sim = Simulator()
+        replayer = TraceReplayer(sim, small_trace(), lambda t, i, v: None)
+        assert sim.pending_events == 1
+        sim.run_until(1.5)
+        assert replayer.remaining == 3
+        assert sim.pending_events == 1
+
+    def test_stops_at_end_time(self):
+        sim = Simulator()
+        seen = []
+        TraceReplayer(sim, small_trace(),
+                      lambda t, i, v: seen.append(i))
+        sim.run_until(2.0)
+        assert seen == [0, 1, 0]
+
+    def test_empty_trace(self):
+        sim = Simulator()
+        trace = UpdateTrace(num_objects=1, times=np.array([]),
+                            object_indices=np.array([]),
+                            values=np.array([]))
+        replayer = TraceReplayer(sim, trace, lambda t, i, v: None)
+        sim.run_until(10.0)
+        assert replayer.remaining == 0

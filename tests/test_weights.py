@@ -1,0 +1,97 @@
+"""Tests for weight models (paper Sec 3.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.weights import (
+    ProductWeights,
+    SineWeights,
+    StaticWeights,
+    WeightModel,
+)
+
+
+class TestStaticWeights:
+    def test_uniform(self):
+        weights = StaticWeights.uniform(5, 2.0)
+        assert weights.n == 5
+        assert weights.weight(3, 100.0) == 2.0
+
+    def test_vector_matches_scalar(self):
+        weights = StaticWeights(np.array([1.0, 10.0, 3.0]))
+        vec = weights.weights(0.0)
+        for i in range(3):
+            assert vec[i] == weights.weight(i, 0.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWeights(np.array([1.0, -1.0]))
+
+    def test_wrong_shape_rejected(self):
+        with pytest.raises(ValueError):
+            StaticWeights(np.ones((2, 2)))
+
+
+class TestSineWeights:
+    def make(self):
+        return SineWeights(base=np.array([2.0, 1.0]),
+                           amplitude=np.array([0.5, 0.0]),
+                           period=np.array([100.0, 50.0]),
+                           phase=np.array([0.0, 1.0]))
+
+    def test_weights_positive(self):
+        rng = np.random.default_rng(0)
+        weights = SineWeights.random(50, rng)
+        for t in np.linspace(0, 1000, 200):
+            assert (weights.weights(t) > 0).all()
+
+    def test_oscillates_around_base(self):
+        weights = self.make()
+        t = np.linspace(0, 1000, 5000)
+        series = np.array([weights.weight(0, x) for x in t])
+        assert series.max() <= 3.0 + 1e-9
+        assert series.min() >= 1.0 - 1e-9
+        assert abs(series.mean() - 2.0) < 0.02
+
+    def test_zero_amplitude_is_constant(self):
+        weights = self.make()
+        assert weights.weight(1, 0.0) == pytest.approx(weights.weight(1, 37.0))
+
+    def test_vector_matches_scalar(self):
+        weights = self.make()
+        for t in (0.0, 13.7, 401.2):
+            vec = weights.weights(t)
+            for i in range(2):
+                assert vec[i] == pytest.approx(weights.weight(i, t))
+
+    def test_random_factory_shapes(self):
+        weights = SineWeights.random(7, np.random.default_rng(1))
+        assert weights.n == 7
+        assert len(weights.weights(0.0)) == 7
+
+    def test_invalid_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            SineWeights(base=np.ones(1), amplitude=np.array([1.0]),
+                        period=np.ones(1), phase=np.zeros(1))
+
+    def test_invalid_period_rejected(self):
+        with pytest.raises(ValueError):
+            SineWeights(base=np.ones(1), amplitude=np.zeros(1),
+                        period=np.zeros(1), phase=np.zeros(1))
+
+
+class TestProductWeights:
+    def test_product_of_importance_and_popularity(self):
+        importance = StaticWeights(np.array([2.0, 3.0]))
+        popularity = StaticWeights(np.array([5.0, 0.5]))
+        weights = ProductWeights(importance, popularity)
+        assert weights.weight(0, 0.0) == pytest.approx(10.0)
+        assert weights.weight(1, 0.0) == pytest.approx(1.5)
+        np.testing.assert_allclose(weights.weights(0.0), [10.0, 1.5])
+
+    def test_mismatched_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ProductWeights(StaticWeights.uniform(2), StaticWeights.uniform(3))
+
+    def test_is_weight_model(self):
+        assert issubclass(ProductWeights, WeightModel)
