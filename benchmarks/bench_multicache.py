@@ -1,0 +1,69 @@
+"""E8 -- multi-cache topology: adaptive cooperation vs. uniform allocation.
+
+Beyond the paper: the star generalized to N cache nodes (sharded /
+replicated), per the topology axis highlighted by the cooperative-caching
+surveys in PAPERS.md.  Two checks:
+
+* the sweep, driven end to end through the CLI (``--num-caches`` up to a
+  4-cache sharded layout), must show the cooperative policy's per-object
+  divergence beating static uniform allocation at every cache count;
+* a replicated layout must run end to end as well (no assertions on its
+  divergence -- replication spends capacity on redundant copies by
+  design).
+"""
+
+from conftest import run_once
+
+from repro.cli import main as cli_main
+from repro.experiments.multicache import render_multicache, run_multicache
+
+SWEEP = dict(
+    num_caches_list=(1, 2, 4),
+    num_sources=16,
+    objects_per_source=8,
+    cache_bandwidth=24.0,
+    source_bandwidth=4.0,
+    hot_fraction=0.25,
+    hot_boost=8.0,
+    warmup=100.0,
+    measure=400.0,
+    seed=0,
+)
+
+
+def test_e8_multicache_sharded(benchmark):
+    points = run_once(benchmark, run_multicache, **SWEEP)
+    print()
+    print(render_multicache(points, "E8: sharded multi-cache sweep"))
+    assert [p.num_caches for p in points] == [1, 2, 4]
+    for point in points:
+        # Adaptive threshold cooperation must beat static uniform
+        # allocation at every cache count, including the 4-cache shard.
+        assert point.advantage > 1.0, (
+            f"uniform allocation won at {point.num_caches} caches: "
+            f"{point.cooperative_divergence:.4f} vs "
+            f"{point.uniform_divergence:.4f}")
+
+
+def test_e8_multicache_cli(benchmark, capsys):
+    """The acceptance path: a >= 4-cache sharded scenario via the CLI."""
+    code = run_once(
+        benchmark, cli_main,
+        ["multicache", "--num-caches", "4", "--topology", "sharded",
+         "--sources", "16", "--objects", "8",
+         "--warmup", "100", "--measure", "400"])
+    assert code == 0
+    out = capsys.readouterr().out
+    print(out)
+    assert "sharded" in out and "cooperative" in out
+
+
+def test_e8_multicache_replicated(benchmark):
+    points = run_once(
+        benchmark, run_multicache,
+        **{**SWEEP, "num_caches_list": (4,), "kind": "replicated",
+           "replication": 2})
+    print()
+    print(render_multicache(points, "E8: replicated layout (r=2)"))
+    assert points[0].kind == "replicated"
+    assert points[0].cooperative_refreshes > 0

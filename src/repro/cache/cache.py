@@ -5,6 +5,10 @@ carry the scheduling intelligence): it applies whatever refreshes arrive,
 tracks piggybacked thresholds, and spends surplus bandwidth on positive
 feedback.  For the cache-driven baselines a poll handler can be registered
 to receive :class:`PollResponse` messages.
+
+In a multi-cache topology one :class:`CacheNode` exists per cache id; each
+registers as the receiver of its own cache link and drains only that link
+in its CACHE-phase tick, so congestion on one cache never blocks another.
 """
 
 from __future__ import annotations
@@ -22,18 +26,24 @@ from repro.network.messages import (
     PollResponse,
     RefreshMessage,
 )
-from repro.network.topology import StarTopology
+from repro.network.topology import Topology
 
 
 class CacheNode:
-    """Receives messages on the shared cache link and applies refreshes."""
+    """Receives messages on its cache link and applies refreshes.
+
+    ``objects`` is the *global* object list (indexed by global object
+    index); the node only ever sees messages for sources routed to its
+    ``cache_id``, so no further filtering is needed.
+    """
 
     def __init__(self, objects: list[DataObject], metric: DivergenceMetric,
-                 topology: StarTopology,
+                 topology: Topology,
                  collector: DivergenceCollector | None = None,
                  store: CacheStore | None = None,
                  feedback: FeedbackController | None = None,
-                 clock: Callable[[], float] = lambda: 0.0) -> None:
+                 clock: Callable[[], float] = lambda: 0.0,
+                 cache_id: int = 0) -> None:
         self.objects = objects
         self.metric = metric
         self.topology = topology
@@ -41,11 +51,13 @@ class CacheNode:
         self.store = store
         self.feedback = feedback
         self.clock = clock
+        self.cache_id = cache_id
         self.refreshes_applied = 0
+        self.stale_discards = 0
         self.poll_responses = 0
         self._poll_handler: Callable[[PollResponse, float], None] | None = None
         self.refresh_hooks: list[Callable[[DataObject, float], None]] = []
-        topology.set_cache_receiver(self.on_message)
+        topology.set_cache_receiver(self.on_message, cache_id=cache_id)
 
     def set_poll_handler(
             self, handler: Callable[[PollResponse, float], None]) -> None:
@@ -72,6 +84,8 @@ class CacheNode:
 
     def _apply_refresh(self, message: RefreshMessage, now: float) -> None:
         obj = self.objects[message.object_index]
+        if self._is_stale(obj, message.update_count):
+            return
         obj.apply_refresh(now, message.value, message.update_count,
                           self.metric)
         if self.collector is not None:
@@ -90,6 +104,8 @@ class CacheNode:
         """Apply each packaged item of a Sec 10.1 batch refresh."""
         for object_index, value, update_count in message.items:
             obj = self.objects[object_index]
+            if self._is_stale(obj, update_count):
+                continue
             obj.apply_refresh(now, value, update_count, self.metric)
             if self.collector is not None:
                 self.collector.record(obj.index, now,
@@ -103,16 +119,32 @@ class CacheNode:
             self.feedback.observe_threshold(message.source_id,
                                             message.threshold)
 
+    def _is_stale(self, obj: DataObject, update_count: int) -> bool:
+        """True when a fresher snapshot of ``obj`` was already applied.
+
+        On one FIFO link snapshots arrive in order, so this never triggers
+        in a star.  With replication, a congested replica link can deliver
+        an *older* snapshot after a faster replica applied a newer one;
+        re-applying it would regress the shared truth view and inject
+        phantom divergence into the measurement.  The logical cached copy
+        is the freshest replica, so late stale copies are discarded (and
+        counted, since they did consume bandwidth).
+        """
+        if update_count < obj.truth.reference_count:
+            self.stale_discards += 1
+            return True
+        return False
+
     # ------------------------------------------------------------------
     # Per-tick work (CACHE phase)
     # ------------------------------------------------------------------
     def on_tick(self, now: float) -> None:
-        """Second drain of the cache link, then feedback from surplus.
+        """Second drain of this node's cache link, then feedback from surplus.
 
         Messages sources sent earlier in this same tick can still transmit
         with the remaining credit; only credit left over *after* that is
         genuine surplus available for positive feedback.
         """
-        self.topology.cache_link.drain()
+        self.topology.drain_cache(self.cache_id)
         if self.feedback is not None:
             self.feedback.on_tick(now)

@@ -15,14 +15,19 @@ first to receive feedback.  After sending feedback the controller
 optimistically applies the protocol's ``/ omega`` to its local record, so
 repeated surplus ticks spread feedback across sources instead of hammering
 the same one.
+
+In a multi-cache topology each cache node runs its own controller over the
+sources for which it is the *primary* cache, spending only its own link's
+surplus; feedback messages are addressed by ``(cache_id, source_id)``.
 """
 
 from __future__ import annotations
 
 import heapq
+from typing import Sequence
 
 from repro.network.messages import FeedbackMessage
-from repro.network.topology import StarTopology
+from repro.network.topology import Topology
 
 
 class FeedbackController:
@@ -35,47 +40,62 @@ class FeedbackController:
     divides its local record by ``omega`` after each feedback, a silent
     source stops receiving feedback after a few rounds until fresh
     piggybacked evidence arrives.
+
+    ``source_ids`` restricts the controller to the sources this cache is
+    responsible for (``None`` means every source in the topology);
+    ``known_thresholds`` is indexed in step with that tuple.
     """
 
-    def __init__(self, topology: StarTopology, omega: float,
+    def __init__(self, topology: Topology, omega: float,
                  max_per_tick: int | None = None,
-                 min_threshold: float = 1e-11) -> None:
+                 min_threshold: float = 1e-11,
+                 cache_id: int = 0,
+                 source_ids: Sequence[int] | None = None) -> None:
         self.topology = topology
         self.omega = omega
         self.max_per_tick = max_per_tick
         self.min_threshold = min_threshold
-        num_sources = topology.num_sources
-        self.known_thresholds = [float("inf")] * num_sources
+        self.cache_id = cache_id
+        if source_ids is None:
+            source_ids = range(topology.num_sources)
+        self.source_ids = tuple(source_ids)
+        self._position = {sid: pos for pos, sid in enumerate(self.source_ids)}
+        self.known_thresholds = [float("inf")] * len(self.source_ids)
         self.feedback_sent = 0
 
     def observe_threshold(self, source_id: int, threshold: float) -> None:
         """Record a threshold piggybacked on a refresh message."""
-        self.known_thresholds[source_id] = threshold
+        position = self._position.get(source_id)
+        if position is not None:
+            self.known_thresholds[position] = threshold
 
     def on_tick(self, now: float) -> None:
-        """Spend any surplus cache-link credit on positive feedback."""
-        surplus = self.topology.cache_link.surplus()
+        """Spend any surplus credit of this cache's link on feedback."""
+        surplus = self.topology.cache_surplus(self.cache_id)
         budget = int(surplus)
         if budget <= 0:
             return
         if self.max_per_tick is not None:
             budget = min(budget, self.max_per_tick)
-        budget = min(budget, self.topology.num_sources)
+        budget = min(budget, len(self.source_ids))
         targets = self._select_targets(budget)
         for source_id in targets:
-            message = FeedbackMessage(source_id=source_id, sent_at=now)
+            message = FeedbackMessage(source_id=source_id, sent_at=now,
+                                      cache_id=self.cache_id)
             if not self.topology.send_downstream(message):
                 break
             self.feedback_sent += 1
-            known = self.known_thresholds[source_id]
+            position = self._position[source_id]
+            known = self.known_thresholds[position]
             if known != float("inf"):
-                self.known_thresholds[source_id] = known / self.omega
+                self.known_thresholds[position] = known / self.omega
 
     def _select_targets(self, budget: int) -> list[int]:
         """The ``budget`` eligible sources with the highest thresholds."""
         candidates = [
             (source_id, threshold)
-            for source_id, threshold in enumerate(self.known_thresholds)
+            for source_id, threshold in zip(self.source_ids,
+                                            self.known_thresholds)
             if threshold > self.min_threshold
         ]
         if budget >= len(candidates):

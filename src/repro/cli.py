@@ -8,6 +8,7 @@ Usage (installed package)::
     python -m repro fig4 --measure 600
     python -m repro fig5 --fluctuating
     python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
+    python -m repro multicache --num-caches 1 2 4 --topology sharded
     python -m repro quickstart            # the README comparison
 
 Every subcommand prints the same rows/series the corresponding figure in
@@ -23,6 +24,7 @@ from typing import Callable, Sequence
 from repro.experiments.fig4 import Fig4Config, run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
+from repro.experiments.multicache import render_multicache, run_multicache
 from repro.experiments.params import best_cell, run_parameter_grid
 from repro.experiments.tables import (
     render_fig4,
@@ -100,6 +102,23 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
     return render_fig6(points, f"Figure 6, m = {args.sources} sources")
 
 
+def _cmd_multicache(args: argparse.Namespace) -> str:
+    points = run_multicache(num_caches_list=tuple(args.num_caches),
+                            kind=args.topology,
+                            replication=args.replication,
+                            num_sources=args.sources,
+                            objects_per_source=args.objects,
+                            cache_bandwidth=args.cache_bandwidth,
+                            source_bandwidth=args.source_bandwidth,
+                            hot_fraction=args.hot_fraction,
+                            hot_boost=args.hot_boost,
+                            warmup=args.warmup, measure=args.measure,
+                            seed=args.seed)
+    return render_multicache(
+        points, f"Multi-cache sweep ({args.topology}): cooperative vs "
+                "uniform allocation, hot-shard workload")
+
+
 def _cmd_quickstart(args: argparse.Namespace) -> str:
     import io
     from contextlib import redirect_stdout
@@ -174,6 +193,29 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[0.1, 0.3, 0.5, 0.7, 0.9])
     _add_timing(p, warmup=100.0, measure=500.0)
     p.set_defaults(fn=_cmd_fig6)
+
+    p = sub.add_parser("multicache",
+                       help="multi-cache topology sweep (cooperative vs "
+                            "uniform allocation)")
+    p.add_argument("--num-caches", type=int, nargs="+", default=[1, 2, 4],
+                   help="cache-node counts to sweep")
+    p.add_argument("--topology", choices=["sharded", "replicated"],
+                   default="sharded",
+                   help="multi-cache layout (1 cache is always the star)")
+    p.add_argument("--replication", type=int, default=2,
+                   help="caches per source in the replicated layout")
+    p.add_argument("--sources", type=int, default=16)
+    p.add_argument("--objects", type=int, default=8,
+                   help="objects per source")
+    p.add_argument("--cache-bandwidth", type=float, default=24.0,
+                   help="aggregate cache-side msgs/s, split across caches")
+    p.add_argument("--source-bandwidth", type=float, default=4.0)
+    p.add_argument("--hot-fraction", type=float, default=0.25,
+                   help="fraction of sources in the hot shard")
+    p.add_argument("--hot-boost", type=float, default=8.0,
+                   help="update-rate multiplier for hot sources")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    p.set_defaults(fn=_cmd_multicache)
 
     p = sub.add_parser("quickstart", help="the README comparison")
     p.set_defaults(fn=_cmd_quickstart)

@@ -7,6 +7,11 @@ from repro.experiments.fig6 import (
     run_fig6,
     series_by_policy,
 )
+from repro.experiments.multicache import (
+    MultiCachePoint,
+    render_multicache,
+    run_multicache,
+)
 from repro.experiments.overhead import (
     OverheadPoint,
     predicted_overhead_fraction,
@@ -30,6 +35,7 @@ __all__ = [
     "Fig4Point",
     "Fig5Point",
     "Fig6Point",
+    "MultiCachePoint",
     "OverheadPoint",
     "ParameterCell",
     "RunSpec",
@@ -39,6 +45,8 @@ __all__ = [
     "run_fig5",
     "run_fig6",
     "predicted_overhead_fraction",
+    "render_multicache",
+    "run_multicache",
     "run_overhead_scaling",
     "run_parameter_grid",
     "run_policy",

@@ -11,19 +11,21 @@ from dataclasses import dataclass
 
 from repro.core.divergence import DivergenceMetric
 from repro.metrics.report import RunResult
+from repro.network.topology import TopologyConfig
 from repro.policies.base import SimulationContext, SyncPolicy
 from repro.workloads.synthetic import Workload
 
 
 @dataclass
 class RunSpec:
-    """Timing parameters shared by all policies in a comparison."""
+    """Timing and topology parameters shared by all policies in a comparison."""
 
     warmup: float  #: divergence before this time is discarded
     measure: float  #: length of the measured window
     dt: float = 1.0  #: tick length (the paper's unit is 1 second)
     seed: int = 0  #: seed for any policy-internal randomness
     resample_interval: float | None = None  #: collector re-break period
+    topology: TopologyConfig | None = None  #: cache layout (None = star)
 
     @property
     def end_time(self) -> float:
@@ -42,7 +44,8 @@ def run_policy(workload: Workload, metric: DivergenceMetric,
                policy: SyncPolicy, spec: RunSpec) -> RunResult:
     """Replay ``workload`` through ``policy`` and measure divergence."""
     ctx = SimulationContext(workload, metric, warmup=spec.warmup,
-                            dt=spec.dt, seed=spec.seed)
+                            dt=spec.dt, seed=spec.seed,
+                            topology=spec.topology)
     policy.attach(ctx)
     ctx.run(spec.end_time, resample_interval=spec.resample_interval)
     collector = ctx.collector

@@ -1,11 +1,13 @@
-"""Network substrate: bandwidth profiles, links, star topology, messages."""
+"""Network substrate: bandwidth profiles, links, topologies, messages."""
 
 from repro.network.bandwidth import (
     BandwidthProfile,
     TraceBandwidth,
     ConstantBandwidth,
+    ScaledBandwidth,
     SineBandwidth,
     make_bandwidth,
+    split_bandwidth,
 )
 from repro.network.link import Link
 from repro.network.messages import (
@@ -17,7 +19,14 @@ from repro.network.messages import (
     PollResponse,
     RefreshMessage,
 )
-from repro.network.topology import StarTopology
+from repro.network.topology import (
+    MultiCacheTopology,
+    StarTopology,
+    Topology,
+    TopologyConfig,
+    replica_assignment,
+    shard_assignment,
+)
 
 __all__ = [
     "MESSAGE_SIZE",
@@ -27,11 +36,18 @@ __all__ = [
     "FeedbackMessage",
     "Link",
     "Message",
+    "MultiCacheTopology",
     "PollRequest",
     "PollResponse",
     "RefreshMessage",
+    "ScaledBandwidth",
     "SineBandwidth",
     "StarTopology",
+    "Topology",
+    "TopologyConfig",
     "TraceBandwidth",
     "make_bandwidth",
+    "replica_assignment",
+    "shard_assignment",
+    "split_bandwidth",
 ]

@@ -182,6 +182,49 @@ class TraceBandwidth(BandwidthProfile):
                 f"mean={self.mean_rate:.4g})")
 
 
+class ScaledBandwidth(BandwidthProfile):
+    """A base profile multiplied by a constant factor.
+
+    Used to split one aggregate capacity across several cache links (an
+    even 1/N share each) while preserving the base profile's shape --
+    fluctuations scale with the mean, as the paper's ``mB`` knob is
+    relative.
+    """
+
+    def __init__(self, base: BandwidthProfile, factor: float) -> None:
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        self.base = base
+        self.factor = float(factor)
+
+    def rate(self, t: float) -> float:
+        return self.base.rate(t) * self.factor
+
+    def capacity(self, t0: float, t1: float) -> float:
+        return self.base.capacity(t0, t1) * self.factor
+
+    @property
+    def mean_rate(self) -> float:
+        return self.base.mean_rate * self.factor
+
+    def __repr__(self) -> str:
+        return f"ScaledBandwidth({self.base!r}, factor={self.factor!r})"
+
+
+def split_bandwidth(profile: BandwidthProfile,
+                    shares: int) -> list[BandwidthProfile]:
+    """Even 1/N split of ``profile`` across ``shares`` links.
+
+    A single share returns the original profile unscaled, so one-cache
+    multi-cache layouts reproduce the star's arithmetic bit for bit.
+    """
+    if shares < 1:
+        raise ValueError(f"need at least one share, got {shares}")
+    if shares == 1:
+        return [profile]
+    return [ScaledBandwidth(profile, 1.0 / shares) for _ in range(shares)]
+
+
 def make_bandwidth(mean: float, max_change_rate: float = 0.0,
                    amplitude: float = 0.5,
                    phase: float = 0.0) -> BandwidthProfile:

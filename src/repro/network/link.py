@@ -85,6 +85,15 @@ class Link:
     def has_credit(self, size: float = 1.0) -> bool:
         return self.credit >= size
 
+    def try_consume(self, size: float = 1.0) -> bool:
+        """Spend ``size`` credit if available; leave the bucket untouched
+        otherwise.  The public credit-spending entry point for topologies
+        that do their own routing and bookkeeping."""
+        if self.credit < size:
+            return False
+        self._consume(size)
+        return True
+
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
@@ -97,13 +106,31 @@ class Link:
         :meth:`transmit_or_queue`.
         """
         self.accrue(message.sent_at)
-        if self.queue or not self.has_credit(message.size):
+        if self.queue or not self.try_consume(message.size):
             return False
-        self._consume(message.size)
         self.total_sent += 1
         self.total_delivered += 1
         if self.deliver is not None:
             self.deliver(message)
+        return True
+
+    def send(self, message: Message,
+             receiver: DeliveryCallback | None = None) -> bool:
+        """Spend credit and deliver to ``receiver``, bypassing the queue.
+
+        The downstream path of a shared cache link: feedback and poll
+        requests share the link's *credit* with the upstream flow but not
+        its FIFO queue, so a refresh backlog does not block them.  When
+        ``receiver`` is ``None`` the credit is still spent and counted (a
+        message to an unwired endpoint disappears at delivery, not before).
+        """
+        self.accrue(message.sent_at)
+        if not self.try_consume(message.size):
+            return False
+        self.total_sent += 1
+        self.total_delivered += 1
+        if receiver is not None:
+            receiver(message)
         return True
 
     def enqueue(self, message: Message) -> None:
@@ -124,8 +151,7 @@ class Link:
         self.accrue(message.sent_at)
         if self.queue:
             self.drain()
-        if not self.queue and self.has_credit(message.size):
-            self._consume(message.size)
+        if not self.queue and self.try_consume(message.size):
             self.total_sent += 1
             self.total_delivered += 1
             if self.deliver is not None:
@@ -137,9 +163,8 @@ class Link:
     def drain(self) -> int:
         """Transmit queued messages FIFO while credit lasts; return count."""
         delivered = 0
-        while self.queue and self.has_credit(self.queue[0].size):
+        while self.queue and self.try_consume(self.queue[0].size):
             message = self.queue.popleft()
-            self._consume(message.size)
             delivered += 1
             self.total_delivered += 1
             if self.deliver is not None:

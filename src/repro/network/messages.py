@@ -26,10 +26,17 @@ MESSAGE_SIZE = 1.0
 
 @dataclass(slots=True)
 class Message:
-    """Base class: common routing fields."""
+    """Base class: common routing fields.
+
+    Every message flows between one source and one cache node, so it is
+    addressed by the ``(cache_id, source_id)`` pair.  Single-cache (star)
+    layouts leave ``cache_id`` at 0; multi-cache topologies stamp the
+    cache endpoint during routing (sharded) or fan a copy out per replica.
+    """
 
     source_id: int  #: id of the source endpoint of this message's flow
     sent_at: float = field(default=0.0, kw_only=True)
+    cache_id: int = field(default=0, kw_only=True)  #: cache endpoint id
 
     @property
     def size(self) -> float:

@@ -1,32 +1,181 @@
-"""The paper's star topology: m source links feeding one shared cache link.
+"""Cache-side network layouts: the paper's star and its multi-cache successors.
+
+A :class:`Topology` connects ``m`` sources to ``N`` cache nodes and owns
+every link in between.  All message flows are addressed by the
+``(cache_id, source_id)`` pair carried on the message itself; the topology
+decides which links a message crosses and where congestion materializes.
 
 Routing rules (see DESIGN.md Sec 4):
 
 * **Upstream** (source -> cache: refreshes, poll responses): the message
-  first consumes credit on the sending source's link (`try_send`), then is
-  *enqueued* on the shared cache link, whose FIFO queue is where congestion
-  and queueing delay materialize.  Delivery to the cache happens when the
-  cache link drains.
+  first consumes credit on the sending source's link (once, regardless of
+  fan-out), then is *enqueued* on each target cache link, whose FIFO queue
+  is where congestion and queueing delay materialize.  Delivery to a cache
+  happens when that cache's link drains.
 * **Downstream** (cache -> source: positive feedback, poll requests): the
-  message consumes cache-link credit and is delivered to the source with
-  negligible latency.  The cooperative policy only sends feedback out of
-  *surplus* credit, so feedback never queues behind refreshes, matching the
-  paper's flood-avoidance argument.
+  message consumes credit on the sending cache's link and is delivered to
+  the source with negligible latency.  The cooperative policy only sends
+  feedback out of *surplus* credit, so feedback never queues behind
+  refreshes, matching the paper's flood-avoidance argument.
+
+Two concrete layouts:
+
+* :class:`StarTopology` -- the paper's single shared cache link plus one
+  link per source.
+* :class:`MultiCacheTopology` -- N cache nodes, each with its own link,
+  FIFO queue and bandwidth profile.  Each source either reports to exactly
+  one cache (*sharded*) or fans every upstream message out to several
+  (*replicated*).  With one cache and the full bandwidth profile it
+  reproduces the star's results bit for bit.
 
 The topology is policy-agnostic: receivers are registered as callbacks.
 """
 
 from __future__ import annotations
 
-from typing import Callable
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, replace
+from typing import Callable, Sequence
 
-from repro.network.bandwidth import BandwidthProfile
+from repro.network.bandwidth import BandwidthProfile, split_bandwidth
 from repro.network.link import Link
 from repro.network.messages import Message
 
+Receiver = Callable[[Message], None]
 
-class StarTopology:
-    """One shared cache link plus one link per source."""
+
+class Topology(ABC):
+    """Abstract routing fabric between ``m`` sources and ``N`` caches.
+
+    Concrete topologies own the links and implement routing; the interface
+    exposes wiring (receiver registration), the per-tick network phase
+    (refill + drain), sending in both directions, and capacity telemetry.
+    """
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    @abstractmethod
+    def num_sources(self) -> int:
+        """Number of source endpoints."""
+
+    @property
+    @abstractmethod
+    def num_caches(self) -> int:
+        """Number of cache endpoints."""
+
+    @property
+    @abstractmethod
+    def cache_links(self) -> Sequence[Link]:
+        """One constrained link per cache node, indexed by ``cache_id``."""
+
+    @abstractmethod
+    def caches_of(self, source_id: int) -> tuple[int, ...]:
+        """Cache ids source ``source_id`` reports to; the first is primary."""
+
+    def primary_cache_of(self, source_id: int) -> int:
+        """The cache that runs the feedback protocol for this source."""
+        return self.caches_of(source_id)[0]
+
+    @abstractmethod
+    def sources_of(self, cache_id: int) -> tuple[int, ...]:
+        """All sources whose upstream messages reach cache ``cache_id``."""
+
+    def owned_sources_of(self, cache_id: int) -> tuple[int, ...]:
+        """Sources for which ``cache_id`` is the *primary* cache.
+
+        Feedback targeting partitions sources by primary cache so that a
+        replicated source never receives double feedback per surplus tick.
+        """
+        return tuple(j for j in self.sources_of(cache_id)
+                     if self.primary_cache_of(j) == cache_id)
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def set_cache_receiver(self, receiver: Receiver,
+                           cache_id: int = 0) -> None:
+        """Register the message handler of cache node ``cache_id``."""
+
+    @abstractmethod
+    def set_source_receiver(self, source_id: int,
+                            receiver: Receiver) -> None:
+        """Register the message handler of source ``source_id``."""
+
+    # ------------------------------------------------------------------
+    # Per-tick network phase
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def on_network_tick(self, now: float) -> None:
+        """Refill every link and drain each cache link's FIFO queue."""
+
+    def drain_cache(self, cache_id: int) -> int:
+        """Second in-tick drain of one cache link (the CACHE phase)."""
+        return self.cache_links[cache_id].drain()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def send_upstream(self, message: Message) -> bool:
+        """Source -> cache(s).  Returns False if the source link lacks
+        credit; routing stamps ``message.cache_id``."""
+
+    @abstractmethod
+    def send_upstream_unconstrained(self, message: Message) -> None:
+        """Source -> cache ignoring source-side limits.
+
+        Figure 6's CGM comparison states "the polling model used in the CGM
+        approach assumes no limitations on source-side bandwidth", so poll
+        responses bypass the source link.  The target cache is
+        ``message.cache_id`` (the cache that issued the poll).
+        """
+
+    @abstractmethod
+    def send_downstream(self, message: Message) -> bool:
+        """Cache ``message.cache_id`` -> source ``message.source_id``.
+        Consumes that cache link's credit; immediate delivery."""
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def source_at_capacity(self, source_id: int) -> bool:
+        """True when the source spent all its credit this tick (footnote 3)."""
+
+    def cache_surplus(self, cache_id: int) -> float:
+        """Leftover credit on one cache link (0 when backlogged)."""
+        return self.cache_links[cache_id].surplus()
+
+    def cache_messages_total(self) -> int:
+        """Messages accepted by all cache links so far."""
+        return sum(link.total_sent for link in self.cache_links)
+
+    def cache_queued_peak(self) -> int:
+        """Worst FIFO backlog observed on any cache link."""
+        return max((link.total_queued_peak for link in self.cache_links),
+                   default=0)
+
+    def telemetry(self) -> dict:
+        """Per-cache capacity counters, for reports and diagnostics."""
+        return {
+            "num_caches": self.num_caches,
+            "cache_utilization": [link.utilization()
+                                  for link in self.cache_links],
+            "cache_queued": [link.queued for link in self.cache_links],
+            "cache_queued_peak": [link.total_queued_peak
+                                  for link in self.cache_links],
+        }
+
+    @abstractmethod
+    def total_messages(self) -> int:
+        """All messages accepted anywhere in the network so far."""
+
+
+class StarTopology(Topology):
+    """One shared cache link plus one link per source (the paper's model)."""
 
     def __init__(self, cache_profile: BandwidthProfile,
                  source_profiles: list[BandwidthProfile]) -> None:
@@ -36,22 +185,47 @@ class StarTopology:
             Link(f"source-{j}", profile)
             for j, profile in enumerate(source_profiles)
         ]
-        self._cache_receiver: Callable[[Message], None] | None = None
-        self._source_receivers: list[Callable[[Message], None] | None] = (
+        self._cache_receiver: Receiver | None = None
+        self._source_receivers: list[Receiver | None] = (
             [None] * len(source_profiles))
+        self._all_sources = tuple(range(len(source_profiles)))
 
     # ------------------------------------------------------------------
-    # Wiring
+    # Shape
     # ------------------------------------------------------------------
     @property
     def num_sources(self) -> int:
         return len(self.source_links)
 
-    def set_cache_receiver(self, receiver: Callable[[Message], None]) -> None:
+    @property
+    def num_caches(self) -> int:
+        return 1
+
+    @property
+    def cache_links(self) -> Sequence[Link]:
+        return (self.cache_link,)
+
+    def caches_of(self, source_id: int) -> tuple[int, ...]:
+        return (0,)
+
+    def sources_of(self, cache_id: int) -> tuple[int, ...]:
+        return self._all_sources
+
+    def owned_sources_of(self, cache_id: int) -> tuple[int, ...]:
+        return self._all_sources
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_cache_receiver(self, receiver: Receiver,
+                           cache_id: int = 0) -> None:
+        if cache_id != 0:
+            raise IndexError(
+                f"star topology has a single cache, got id {cache_id}")
         self._cache_receiver = receiver
 
     def set_source_receiver(self, source_id: int,
-                            receiver: Callable[[Message], None]) -> None:
+                            receiver: Receiver) -> None:
         self._source_receivers[source_id] = receiver
 
     # ------------------------------------------------------------------
@@ -71,35 +245,20 @@ class StarTopology:
         """Source -> cache.  Returns False if the source link lacks credit."""
         source_link = self.source_links[message.source_id]
         source_link.accrue(message.sent_at)
-        if not source_link.has_credit(message.size) or source_link.queue:
+        if source_link.queue or not source_link.try_consume(message.size):
             return False
-        source_link._consume(message.size)
         source_link.total_sent += 1
         source_link.total_delivered += 1
         self.cache_link.transmit_or_queue(message)
         return True
 
     def send_upstream_unconstrained(self, message: Message) -> None:
-        """Source -> cache ignoring source-side limits.
-
-        Figure 6's CGM comparison states "the polling model used in the CGM
-        approach assumes no limitations on source-side bandwidth", so poll
-        responses bypass the source link.
-        """
         self.cache_link.transmit_or_queue(message)
 
     def send_downstream(self, message: Message) -> bool:
         """Cache -> source.  Consumes cache credit; immediate delivery."""
-        self.cache_link.accrue(message.sent_at)
-        if not self.cache_link.has_credit(message.size):
-            return False
-        self.cache_link._consume(message.size)
-        self.cache_link.total_sent += 1
-        self.cache_link.total_delivered += 1
         receiver = self._source_receivers[message.source_id]
-        if receiver is not None:
-            receiver(message)
-        return True
+        return self.cache_link.send(message, receiver)
 
     # ------------------------------------------------------------------
     # Internal delivery
@@ -112,10 +271,251 @@ class StarTopology:
     # Telemetry
     # ------------------------------------------------------------------
     def source_at_capacity(self, source_id: int) -> bool:
-        """True when the source spent all its credit this tick (footnote 3)."""
         return not self.source_links[source_id].has_credit()
 
     def total_messages(self) -> int:
-        """All messages accepted anywhere in the network so far."""
         return (self.cache_link.total_sent
                 + sum(link.total_sent for link in self.source_links))
+
+
+class MultiCacheTopology(Topology):
+    """N cache nodes, each with its own link, queue and bandwidth profile.
+
+    ``assignment`` maps each source to the tuple of cache ids its upstream
+    messages reach; the first entry is the *primary* cache (feedback and
+    poll traffic).  A one-element tuple per source is a sharded layout; a
+    longer tuple replicates the source's refreshes onto several cache
+    links, each copy consuming that link's capacity (the source-side link
+    is charged once -- the fan-out happens inside the network, as with IP
+    multicast).
+
+    With ``len(cache_profiles) == 1`` and every source assigned to cache 0
+    the routing degenerates to exactly the star's arithmetic, which the
+    equivalence tests pin down bit for bit.
+    """
+
+    def __init__(self, cache_profiles: Sequence[BandwidthProfile],
+                 source_profiles: Sequence[BandwidthProfile],
+                 assignment: Sequence[Sequence[int]] | None = None) -> None:
+        if not cache_profiles:
+            raise ValueError("need at least one cache profile")
+        num_caches = len(cache_profiles)
+        num_sources = len(source_profiles)
+        if assignment is None:
+            assignment = shard_assignment(num_sources, num_caches)
+        if len(assignment) != num_sources:
+            raise ValueError(
+                f"assignment covers {len(assignment)} sources, "
+                f"expected {num_sources}")
+        self._assignment: list[tuple[int, ...]] = []
+        for j, targets in enumerate(assignment):
+            targets = tuple(targets)
+            if not targets:
+                raise ValueError(f"source {j} is assigned to no cache")
+            if len(set(targets)) != len(targets):
+                raise ValueError(f"source {j} has duplicate cache targets")
+            for k in targets:
+                if not 0 <= k < num_caches:
+                    raise ValueError(
+                        f"source {j} assigned to unknown cache {k}")
+            self._assignment.append(targets)
+        self._cache_links = [
+            Link(f"cache-{k}", profile,
+                 deliver=self._make_cache_deliver(k))
+            for k, profile in enumerate(cache_profiles)
+        ]
+        self.source_links = [
+            Link(f"source-{j}", profile)
+            for j, profile in enumerate(source_profiles)
+        ]
+        self._cache_receivers: list[Receiver | None] = [None] * num_caches
+        self._source_receivers: list[Receiver | None] = [None] * num_sources
+        self._sources_by_cache: list[tuple[int, ...]] = [
+            tuple(j for j in range(num_sources) if k in self._assignment[j])
+            for k in range(num_caches)
+        ]
+        self._owned_by_cache: list[tuple[int, ...]] = [
+            tuple(j for j in range(num_sources)
+                  if self._assignment[j][0] == k)
+            for k in range(num_caches)
+        ]
+
+    # ------------------------------------------------------------------
+    # Shape
+    # ------------------------------------------------------------------
+    @property
+    def num_sources(self) -> int:
+        return len(self.source_links)
+
+    @property
+    def num_caches(self) -> int:
+        return len(self._cache_links)
+
+    @property
+    def cache_links(self) -> Sequence[Link]:
+        return self._cache_links
+
+    def caches_of(self, source_id: int) -> tuple[int, ...]:
+        return self._assignment[source_id]
+
+    def sources_of(self, cache_id: int) -> tuple[int, ...]:
+        return self._sources_by_cache[cache_id]
+
+    def owned_sources_of(self, cache_id: int) -> tuple[int, ...]:
+        return self._owned_by_cache[cache_id]
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def set_cache_receiver(self, receiver: Receiver,
+                           cache_id: int = 0) -> None:
+        self._cache_receivers[cache_id] = receiver
+
+    def set_source_receiver(self, source_id: int,
+                            receiver: Receiver) -> None:
+        self._source_receivers[source_id] = receiver
+
+    def _make_cache_deliver(self, cache_id: int) -> Receiver:
+        def deliver(message: Message) -> None:
+            receiver = self._cache_receivers[cache_id]
+            if receiver is not None:
+                receiver(message)
+        return deliver
+
+    # ------------------------------------------------------------------
+    # Per-tick network phase
+    # ------------------------------------------------------------------
+    def on_network_tick(self, now: float) -> None:
+        for link in self.source_links:
+            link.refill(now)
+        for link in self._cache_links:
+            link.refill(now)
+            link.drain()
+
+    # ------------------------------------------------------------------
+    # Sending
+    # ------------------------------------------------------------------
+    def send_upstream(self, message: Message) -> bool:
+        """Source -> assigned cache(s); source credit is charged once."""
+        source_link = self.source_links[message.source_id]
+        source_link.accrue(message.sent_at)
+        if source_link.queue or not source_link.try_consume(message.size):
+            return False
+        source_link.total_sent += 1
+        source_link.total_delivered += 1
+        targets = self._assignment[message.source_id]
+        message.cache_id = targets[0]
+        self._cache_links[targets[0]].transmit_or_queue(message)
+        for extra in targets[1:]:
+            self._cache_links[extra].transmit_or_queue(
+                replace(message, cache_id=extra))
+        return True
+
+    def send_upstream_unconstrained(self, message: Message) -> None:
+        self._cache_links[message.cache_id].transmit_or_queue(message)
+
+    def send_downstream(self, message: Message) -> bool:
+        receiver = self._source_receivers[message.source_id]
+        return self._cache_links[message.cache_id].send(message, receiver)
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def source_at_capacity(self, source_id: int) -> bool:
+        return not self.source_links[source_id].has_credit()
+
+    def total_messages(self) -> int:
+        return (sum(link.total_sent for link in self._cache_links)
+                + sum(link.total_sent for link in self.source_links))
+
+
+# ----------------------------------------------------------------------
+# Assignment helpers
+# ----------------------------------------------------------------------
+def shard_assignment(num_sources: int, num_caches: int,
+                     strategy: str = "block") -> list[tuple[int, ...]]:
+    """One cache per source.
+
+    ``"block"`` keeps contiguous source ranges together (balanced block
+    partition, the natural layout when object indices are row-major per
+    source); ``"stride"`` deals sources round-robin.
+    """
+    if num_caches < 1:
+        raise ValueError(f"need at least one cache, got {num_caches}")
+    if strategy == "block":
+        return [(j * num_caches // max(num_sources, 1),)
+                for j in range(num_sources)]
+    if strategy == "stride":
+        return [(j % num_caches,) for j in range(num_sources)]
+    raise ValueError(f"unknown shard strategy {strategy!r}")
+
+
+def replica_assignment(num_sources: int, num_caches: int,
+                       replication: int,
+                       strategy: str = "block") -> list[tuple[int, ...]]:
+    """``replication`` caches per source: its shard plus the next ring
+    neighbours, so replica load stays balanced across caches."""
+    if not 1 <= replication <= num_caches:
+        raise ValueError(
+            f"replication must be in [1, {num_caches}], got {replication}")
+    primaries = shard_assignment(num_sources, num_caches, strategy)
+    return [
+        tuple((primary[0] + r) % num_caches for r in range(replication))
+        for primary in primaries
+    ]
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Declarative topology choice, pluggable into a simulation context.
+
+    ``kind`` is ``"star"`` (the paper's layout), ``"sharded"`` (each source
+    reports to one of ``num_caches`` caches) or ``"replicated"`` (each
+    source fans out to ``replication`` caches).  The aggregate cache-side
+    bandwidth is split evenly across the cache links, so scenarios with
+    different ``num_caches`` stay budget-comparable.
+    """
+
+    kind: str = "star"
+    num_caches: int = 1
+    replication: int = 2
+    strategy: str = "block"
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("star", "sharded", "replicated"):
+            raise ValueError(f"unknown topology kind {self.kind!r}")
+        if self.num_caches < 1:
+            raise ValueError(
+                f"num_caches must be >= 1, got {self.num_caches}")
+        if self.kind == "star" and self.num_caches != 1:
+            raise ValueError("a star topology has exactly one cache; "
+                             "use kind='sharded' for more")
+        if self.kind == "replicated" and not (
+                1 <= self.replication <= self.num_caches):
+            raise ValueError(
+                f"replication must be in [1, {self.num_caches}], "
+                f"got {self.replication}")
+
+    def assignment_for(self, num_sources: int) -> list[tuple[int, ...]]:
+        """The source -> caches map this configuration induces."""
+        if self.kind == "star":
+            return [(0,)] * num_sources
+        if self.kind == "sharded":
+            return shard_assignment(num_sources, self.num_caches,
+                                    self.strategy)
+        return replica_assignment(num_sources, self.num_caches,
+                                  self.replication, self.strategy)
+
+    def cache_profiles(self, cache_profile: BandwidthProfile
+                       ) -> list[BandwidthProfile]:
+        """Even split of the aggregate cache bandwidth across cache links."""
+        return split_bandwidth(cache_profile, self.num_caches)
+
+    def build(self, cache_profile: BandwidthProfile,
+              source_profiles: Sequence[BandwidthProfile]) -> Topology:
+        """Materialize the topology for one simulation run."""
+        if self.kind == "star":
+            return StarTopology(cache_profile, list(source_profiles))
+        return MultiCacheTopology(
+            self.cache_profiles(cache_profile), source_profiles,
+            assignment=self.assignment_for(len(source_profiles)))

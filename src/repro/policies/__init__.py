@@ -9,6 +9,7 @@ from repro.policies.cache_driven import (
 from repro.policies.competitive import CompetitivePolicy
 from repro.policies.cooperative import CooperativePolicy
 from repro.policies.ideal import IdealCooperativePolicy
+from repro.policies.uniform import UniformAllocationPolicy
 
 __all__ = [
     "BoundMeter",
@@ -19,5 +20,6 @@ __all__ = [
     "IdealCooperativePolicy",
     "SimulationContext",
     "SyncPolicy",
+    "UniformAllocationPolicy",
     "assign_max_rates",
 ]

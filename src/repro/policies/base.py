@@ -15,9 +15,13 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from typing import Callable
 
+from typing import Sequence
+
 from repro.core.divergence import DivergenceMetric
 from repro.core.objects import DataObject
 from repro.metrics.collector import DivergenceCollector
+from repro.network.bandwidth import BandwidthProfile
+from repro.network.topology import Topology, TopologyConfig
 from repro.sim.engine import Simulator
 from repro.sim.events import Phase
 from repro.sim.random import RngRegistry
@@ -28,17 +32,26 @@ UpdateHook = Callable[[DataObject, float], None]
 
 
 class SimulationContext:
-    """All shared state for one policy run over one workload."""
+    """All shared state for one policy run over one workload.
+
+    ``topology`` selects the cache-side network layout for every policy
+    attached to this context; policies that need a network call
+    :meth:`build_topology` instead of hard-wiring a star, so the same
+    policy code runs unchanged on one cache or many.
+    """
 
     def __init__(self, workload: Workload, metric: DivergenceMetric,
                  warmup: float = 0.0, dt: float = 1.0,
-                 seed: int = 0) -> None:
+                 seed: int = 0,
+                 topology: TopologyConfig | None = None) -> None:
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
         self.workload = workload
         self.metric = metric
         self.warmup = warmup
         self.dt = dt
+        self.topology_config = topology if topology is not None \
+            else TopologyConfig()
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         trace = workload.trace
@@ -54,6 +67,18 @@ class SimulationContext:
                                              warmup=warmup)
         self._update_hooks: list[UpdateHook] = []
         self.replayer = TraceReplayer(self.sim, trace, self.apply_update)
+
+    def build_topology(self, cache_bandwidth: BandwidthProfile,
+                       source_profiles: Sequence[BandwidthProfile]
+                       ) -> Topology:
+        """Materialize this context's topology for a policy.
+
+        ``cache_bandwidth`` is the *aggregate* cache-side profile; the
+        configured topology splits it across its cache links (an even 1/N
+        share each) so runs with different ``num_caches`` are
+        budget-comparable.
+        """
+        return self.topology_config.build(cache_bandwidth, source_profiles)
 
     def add_update_hook(self, hook: UpdateHook) -> None:
         """Register a callback invoked after every applied update."""

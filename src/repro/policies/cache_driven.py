@@ -36,7 +36,7 @@ from repro.cgm.poller import PollScheduler
 from repro.core.objects import DataObject
 from repro.network.bandwidth import BandwidthProfile, ConstantBandwidth
 from repro.network.messages import Message, PollRequest, PollResponse
-from repro.network.topology import StarTopology
+from repro.network.topology import Topology
 from repro.policies.base import SimulationContext, SyncPolicy
 from repro.sim.events import Phase
 
@@ -56,10 +56,34 @@ class IdealCacheBasedPolicy(SyncPolicy):
         self._periods: np.ndarray | None = None
         self._ctx: SimulationContext | None = None
 
+    def _solve_allocation(self, ctx: SimulationContext) -> np.ndarray:
+        """Refresh frequencies under the context's topology.
+
+        One cache: the paper's global freshness-optimal allocation.  N
+        caches: each cache solves the allocation over the objects of the
+        sources it is primary for, with its 1/N share of the budget --
+        budget cannot be shifted between cache nodes, which is exactly the
+        constraint the multi-cache scenario experiments probe.
+        """
+        workload = ctx.workload
+        rates = np.asarray(workload.rates, dtype=float)
+        config = ctx.topology_config
+        if config.num_caches == 1:
+            return solve_refresh_frequencies(rates, self.budget)
+        assignment = config.assignment_for(workload.num_sources)
+        freqs = np.zeros(len(rates))
+        share = self.budget / config.num_caches
+        for k in range(config.num_caches):
+            indices = [i for i in range(len(rates))
+                       if assignment[workload.source_of(i)][0] == k]
+            if indices:
+                freqs[indices] = solve_refresh_frequencies(
+                    rates[indices], share)
+        return freqs
+
     def attach(self, ctx: SimulationContext) -> None:
         self._ctx = ctx
-        rates = np.asarray(ctx.workload.rates, dtype=float)
-        freqs = solve_refresh_frequencies(rates, self.budget)
+        freqs = self._solve_allocation(ctx)
         with np.errstate(divide="ignore"):
             self._periods = np.where(freqs > 0, 1.0 / np.where(
                 freqs > 0, freqs, 1.0), np.inf)
@@ -115,8 +139,8 @@ class CGMPollingPolicy(SyncPolicy):
         self.name = variant
         self.resolve_interval = resolve_interval
         self.messages_per_refresh = messages_per_refresh
-        self.topology: StarTopology | None = None
-        self.cache: CacheNode | None = None
+        self.topology: Topology | None = None
+        self.caches: list[CacheNode] = []
         self.scheduler = PollScheduler()
         self.estimators: list[RateEstimator] = []
         self._last_poll_time: np.ndarray | None = None
@@ -133,13 +157,16 @@ class CGMPollingPolicy(SyncPolicy):
         n = workload.num_objects
         # Source links are irrelevant (poll responses are unconstrained on
         # the source side per the paper); zero-capacity placeholders.
-        self.topology = StarTopology(
+        self.topology = ctx.build_topology(
             self.cache_bandwidth,
             [ConstantBandwidth(0.0)] * workload.num_sources)
-        self.cache = CacheNode(ctx.objects, ctx.metric, self.topology,
-                               collector=ctx.collector,
-                               clock=lambda: ctx.sim.now)
-        self.cache.set_poll_handler(self._on_poll_response)
+        self.caches = []
+        for k in range(self.topology.num_caches):
+            cache = CacheNode(ctx.objects, ctx.metric, self.topology,
+                              collector=ctx.collector,
+                              clock=lambda: ctx.sim.now, cache_id=k)
+            cache.set_poll_handler(self._on_poll_response)
+            self.caches.append(cache)
         for j in range(workload.num_sources):
             self.topology.set_source_receiver(j, self._on_source_message)
 
@@ -171,12 +198,14 @@ class CGMPollingPolicy(SyncPolicy):
     # Polling
     # ------------------------------------------------------------------
     def _on_cache_tick(self, now: float) -> None:
-        assert self.cache is not None and self.topology is not None
-        self.cache.on_tick(now)
+        assert self.caches and self.topology is not None
+        for cache in self.caches:
+            cache.on_tick(now)
         for index in self.scheduler.due(now):
             obj = self._ctx.objects[index]
-            request = PollRequest(source_id=obj.source_id, sent_at=now,
-                                  object_index=index)
+            request = PollRequest(
+                source_id=obj.source_id, sent_at=now, object_index=index,
+                cache_id=self.topology.primary_cache_of(obj.source_id))
             if self.topology.send_downstream(request):
                 self._polls_sent += 1
                 self.scheduler.reschedule(index, now)
@@ -197,6 +226,7 @@ class CGMPollingPolicy(SyncPolicy):
         response = PollResponse(
             source_id=obj.source_id,
             sent_at=now,
+            cache_id=message.cache_id,  # answer the cache that asked
             object_index=obj.index,
             value=obj.value,
             update_count=obj.update_count,
@@ -239,7 +269,7 @@ class CGMPollingPolicy(SyncPolicy):
     # ------------------------------------------------------------------
     def refreshes(self) -> int:
         """Every delivered poll response refreshes the cached copy."""
-        return self.cache.poll_responses if self.cache else 0
+        return sum(cache.poll_responses for cache in self.caches)
 
     def poll_messages(self) -> int:
         """Coordination overhead: the request half of each round trip.
@@ -250,7 +280,7 @@ class CGMPollingPolicy(SyncPolicy):
         return self._polls_sent
 
     def messages_total(self) -> int:
-        return self.topology.cache_link.total_sent if self.topology else 0
+        return self.topology.cache_messages_total() if self.topology else 0
 
     def extras(self) -> dict:
         true_rates = np.asarray(self._ctx.workload.rates, dtype=float)

@@ -82,8 +82,9 @@ class CompetitivePolicy(CooperativePolicy):
         self.source_collector = DivergenceCollector(
             workload.num_objects, self.source_weights, warmup=ctx.warmup)
         ctx.add_update_hook(self._on_update_competitive)
-        assert self.cache is not None
-        self.cache.add_refresh_hook(self._on_refresh_applied)
+        assert self.caches
+        for cache in self.caches:
+            cache.add_refresh_hook(self._on_refresh_applied)
         for source in self.sources:
             source.send_hooks.append(self._on_refresh_sent)
         ctx.sim.every(ctx.dt, self._own_sends_tick, phase=Phase.SOURCES)

@@ -6,10 +6,13 @@ network substrate:
 * one :class:`SourceNode` per source with a lazy priority queue, a
   :class:`ThresholdController` (``alpha``/``omega``/``gamma`` dynamics) and
   a priority monitor (exact triggers by default, sampling optional);
-* a :class:`CacheNode` that applies whatever refreshes arrive and runs the
-  :class:`FeedbackController`, spending surplus cache-link bandwidth on
-  positive feedback to the highest-threshold sources;
-* a :class:`StarTopology` whose shared cache link is where congestion,
+* one :class:`CacheNode` per cache node in the configured topology, each
+  applying whatever refreshes arrive on its link and running its own
+  :class:`FeedbackController`, spending surplus link bandwidth on positive
+  feedback to the highest-threshold sources it is primary for;
+* a :class:`Topology` (the paper's star by default, or a sharded /
+  replicated :class:`MultiCacheTopology` via the context's
+  :class:`TopologyConfig`) whose cache links are where congestion,
   queueing delay and flooding actually happen.
 
 Every coordination byte is accounted: refresh messages carry the
@@ -30,7 +33,7 @@ from repro.core.priority import PriorityFunction
 from repro.core.threshold import DEFAULT_ALPHA, DEFAULT_OMEGA, ThresholdController
 from repro.core.tracking import PriorityTracker
 from repro.network.bandwidth import BandwidthProfile
-from repro.network.topology import StarTopology
+from repro.network.topology import Topology
 from repro.policies.base import SimulationContext, SyncPolicy
 from repro.sim.events import Phase
 from repro.source.batching import BatchingSource
@@ -44,7 +47,8 @@ class CooperativePolicy(SyncPolicy):
     Parameters
     ----------
     cache_bandwidth:
-        Profile of the shared cache-side link ``C(t)``.
+        Aggregate cache-side profile ``C(t)``; the context's topology
+        splits it evenly across its cache links.
     source_bandwidths:
         One profile per source (``B_j(t)``).
     priority_fn:
@@ -56,8 +60,8 @@ class CooperativePolicy(SyncPolicy):
         warm-up.
     feedback_period:
         Expected feedback period ``P_feedback`` for the ``gamma`` factor;
-        ``None`` derives the paper's rough estimate
-        ``num_sources / mean cache bandwidth``.
+        ``None`` derives the paper's rough estimate per cache
+        (``sources at that cache / mean cache-link bandwidth``).
     monitor:
         ``"trigger"`` (exact, default) or ``"sampling"`` (Sec 8.2.1).
     sampling_interval, predictive_sampling:
@@ -99,11 +103,26 @@ class CooperativePolicy(SyncPolicy):
         self.reprioritize_interval = reprioritize_interval
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
-        self.topology: StarTopology | None = None
-        self.cache: CacheNode | None = None
-        self.store: CacheStore | None = None
+        self.topology: Topology | None = None
+        self.caches: list[CacheNode] = []
+        self.stores: list[CacheStore] = []
+        self.feedbacks: list[FeedbackController] = []
         self.sources: list[SourceNode] = []
-        self.feedback: FeedbackController | None = None
+
+    # ------------------------------------------------------------------
+    # Single-cache conveniences (the star special case)
+    # ------------------------------------------------------------------
+    @property
+    def cache(self) -> CacheNode | None:
+        return self.caches[0] if self.caches else None
+
+    @property
+    def store(self) -> CacheStore | None:
+        return self.stores[0] if self.stores else None
+
+    @property
+    def feedback(self) -> FeedbackController | None:
+        return self.feedbacks[0] if self.feedbacks else None
 
     # ------------------------------------------------------------------
     # Wiring
@@ -114,30 +133,25 @@ class CooperativePolicy(SyncPolicy):
             raise ValueError(
                 f"expected {workload.num_sources} source bandwidth "
                 f"profiles, got {len(self.source_bandwidths)}")
-        self.topology = StarTopology(self.cache_bandwidth,
-                                     self.source_bandwidths)
-        feedback_period = self.feedback_period
-        if feedback_period is None:
-            # The paper's rough estimate is m / mean cache bandwidth; at
-            # the alpha/omega equilibrium one feedback balances
-            # ln(omega)/ln(alpha) refreshes (~24 at the default settings),
-            # so the *expected* period between feedback messages to one
-            # source is that many times longer.  Scaling the estimate (and
-            # flooring it at a few ticks) keeps gamma measuring genuine
-            # feedback droughts across bandwidth regimes -- the paper notes
-            # the estimate "need only be a rough estimate".
-            mean_rate = self.cache_bandwidth.mean_rate
-            if mean_rate > 0:
-                slack = math.log(self.omega) / math.log(self.alpha)
-                feedback_period = max(
-                    slack * workload.num_sources / mean_rate, 5.0 * ctx.dt)
-        self.feedback = FeedbackController(self.topology, self.omega)
-        self.store = CacheStore(workload.num_objects,
-                                workload.trace.initial_values)
-        self.cache = CacheNode(ctx.objects, ctx.metric, self.topology,
-                               collector=ctx.collector, store=self.store,
-                               feedback=self.feedback,
-                               clock=lambda: ctx.sim.now)
+        self.topology = ctx.build_topology(self.cache_bandwidth,
+                                           self.source_bandwidths)
+        topology = self.topology
+        self.caches = []
+        self.stores = []
+        self.feedbacks = []
+        for k in range(topology.num_caches):
+            feedback = FeedbackController(
+                topology, self.omega, cache_id=k,
+                source_ids=topology.owned_sources_of(k))
+            store = CacheStore(workload.num_objects,
+                               workload.trace.initial_values)
+            cache = CacheNode(ctx.objects, ctx.metric, topology,
+                              collector=ctx.collector, store=store,
+                              feedback=feedback,
+                              clock=lambda: ctx.sim.now, cache_id=k)
+            self.feedbacks.append(feedback)
+            self.stores.append(store)
+            self.caches.append(cache)
 
         per_source = workload.objects_per_source
         self.sources = []
@@ -146,30 +160,56 @@ class CooperativePolicy(SyncPolicy):
             tracker = PriorityTracker()
             threshold = ThresholdController(
                 initial=self.initial_threshold, alpha=self.alpha,
-                omega=self.omega, feedback_period=feedback_period)
+                omega=self.omega,
+                feedback_period=self._feedback_period_for(j, ctx))
             monitor = self._build_monitor(tracker, workload.weights,
                                           ctx.metric, threshold)
             if self.batch_size > 1:
                 source: SourceNode = BatchingSource(
-                    j, objects, monitor, threshold, self.topology,
+                    j, objects, monitor, threshold, topology,
                     batch_size=self.batch_size,
                     batch_timeout=self.batch_timeout)
             else:
                 source = SourceNode(j, objects, monitor, threshold,
-                                    self.topology)
+                                    topology)
             self.sources.append(source)
-            self.topology.set_source_receiver(
+            topology.set_source_receiver(
                 j, self._make_receiver(source, ctx))
 
         ctx.add_update_hook(self._on_update)
-        ctx.sim.every(ctx.dt, self.topology.on_network_tick,
+        ctx.sim.every(ctx.dt, topology.on_network_tick,
                       phase=Phase.NETWORK)
         ctx.sim.every(ctx.dt, self._sources_tick, phase=Phase.SOURCES)
-        ctx.sim.every(ctx.dt, self.cache.on_tick, phase=Phase.CACHE)
+        ctx.sim.every(ctx.dt, self._caches_tick, phase=Phase.CACHE)
         if self.reprioritize_interval is not None:
             ctx.sim.every(self.reprioritize_interval,
                           self._reprioritize_all, phase=Phase.SOURCES)
         self._ctx = ctx
+
+    def _feedback_period_for(self, source_id: int,
+                             ctx: SimulationContext) -> float | None:
+        """Expected feedback period for one source's ``gamma`` factor.
+
+        The paper's rough estimate is m / mean cache bandwidth, taken here
+        per cache node: the sources sharing the primary cache of
+        ``source_id`` over that link's mean rate.  At the alpha/omega
+        equilibrium one feedback balances ln(omega)/ln(alpha) refreshes
+        (~24 at the default settings), so the *expected* period between
+        feedback messages to one source is that many times longer.
+        Scaling the estimate (and flooring it at a few ticks) keeps gamma
+        measuring genuine feedback droughts across bandwidth regimes --
+        the paper notes the estimate "need only be a rough estimate".
+        """
+        if self.feedback_period is not None:
+            return self.feedback_period
+        assert self.topology is not None
+        primary = self.topology.primary_cache_of(source_id)
+        mean_rate = self.topology.cache_links[primary].profile.mean_rate
+        if mean_rate <= 0:
+            return None
+        slack = math.log(self.omega) / math.log(self.alpha)
+        peers = len(self.topology.owned_sources_of(primary))
+        return max(slack * peers / mean_rate, 5.0 * ctx.dt)
 
     def _build_monitor(self, tracker: PriorityTracker, weights, metric:
                        DivergenceMetric, threshold: ThresholdController):
@@ -199,6 +239,10 @@ class CooperativePolicy(SyncPolicy):
         for source in self.sources:
             source.on_tick(now)
 
+    def _caches_tick(self, now: float) -> None:
+        for cache in self.caches:
+            cache.on_tick(now)
+
     def _reprioritize_all(self, now: float) -> None:
         for source in self.sources:
             source.monitor.refresh_priorities(source.objects, now)
@@ -207,24 +251,27 @@ class CooperativePolicy(SyncPolicy):
     # Reporting
     # ------------------------------------------------------------------
     def refreshes(self) -> int:
-        return self.cache.refreshes_applied if self.cache else 0
+        return sum(cache.refreshes_applied for cache in self.caches)
 
     def feedback_messages(self) -> int:
-        return self.feedback.feedback_sent if self.feedback else 0
+        return sum(fb.feedback_sent for fb in self.feedbacks)
 
     def messages_total(self) -> int:
         if self.topology is None:
             return 0
-        return self.topology.cache_link.total_sent
+        return self.topology.cache_messages_total()
 
     def extras(self) -> dict:
         thresholds = [s.threshold.value for s in self.sources]
         sent = sum(s.refreshes_sent for s in self.sources)
-        return {
+        extras = {
             "mean_threshold": (sum(thresholds) / len(thresholds)
                                if thresholds else 0.0),
             "refreshes_sent": sent,
             "refreshes_in_flight": (sent - self.refreshes()),
-            "cache_queue_peak": (self.topology.cache_link.total_queued_peak
+            "cache_queue_peak": (self.topology.cache_queued_peak()
                                  if self.topology else 0),
         }
+        if self.topology is not None and self.topology.num_caches > 1:
+            extras["topology"] = self.topology.telemetry()
+        return extras

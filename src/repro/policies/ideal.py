@@ -84,7 +84,8 @@ class IdealCooperativePolicy(SyncPolicy):
         self.tracker = PriorityTracker()
         self._refreshes = 0
         self._ctx: SimulationContext | None = None
-        self._cache_bucket: _CreditBucket | None = None
+        self._cache_buckets: list[_CreditBucket] = []
+        self._primary_cache: list[int] = []
         self._source_buckets: list[_CreditBucket] | None = None
         #: callbacks invoked as ``hook(obj, now)`` after each refresh
         self.refresh_hooks: list = []
@@ -95,8 +96,17 @@ class IdealCooperativePolicy(SyncPolicy):
     def attach(self, ctx: SimulationContext) -> None:
         self._ctx = ctx
         burst = 2.0 * ctx.dt
-        self._cache_bucket = _CreditBucket(
-            self.cache_bandwidth, self.cache_bandwidth.mean_rate * burst)
+        # One virtual credit bucket per cache node; an object's refresh
+        # spends its source's *primary* cache budget, so the idealized
+        # curve faces the same per-cache capacity partition as the
+        # practical algorithm (budget cannot shift between caches).
+        config = ctx.topology_config
+        profiles = config.cache_profiles(self.cache_bandwidth)
+        self._cache_buckets = [
+            _CreditBucket(p, p.mean_rate * burst) for p in profiles
+        ]
+        assignment = config.assignment_for(ctx.workload.num_sources)
+        self._primary_cache = [targets[0] for targets in assignment]
         if self.source_bandwidths is not None:
             if len(self.source_bandwidths) != ctx.workload.num_sources:
                 raise ValueError(
@@ -128,17 +138,18 @@ class IdealCooperativePolicy(SyncPolicy):
         self._drain(now)
 
     def _refill(self, now: float) -> None:
-        self._cache_bucket.refill(now)
+        for bucket in self._cache_buckets:
+            bucket.refill(now)
         if self._source_buckets is not None:
             for bucket in self._source_buckets:
                 bucket.refill(now)
 
     def _drain(self, now: float) -> None:
         ctx = self._ctx
-        assert ctx is not None and self._cache_bucket is not None
+        assert ctx is not None and self._cache_buckets
         self._refill(now)
         deferred: list[tuple[int, float]] = []
-        while self._cache_bucket.credit >= 1.0:
+        while any(bucket.credit >= 1.0 for bucket in self._cache_buckets):
             top = self.tracker.pop()
             if top is None:
                 break
@@ -146,13 +157,19 @@ class IdealCooperativePolicy(SyncPolicy):
             if priority <= 0.0:
                 break
             source_id = ctx.workload.source_of(index)
+            cache_bucket = self._cache_buckets[self._primary_cache[source_id]]
+            if cache_bucket.credit < 1.0:
+                # This object's cache partition is out of budget; the
+                # next-highest priority object may live on another cache.
+                deferred.append(top)
+                continue
             if (self._source_buckets is not None
                     and not self._source_buckets[source_id].take()):
                 # Source-side bandwidth exhausted: skip to the next-highest
                 # priority object (paper Sec 3.3), revisit next tick.
                 deferred.append(top)
                 continue
-            self._cache_bucket.take()
+            cache_bucket.take()
             self._apply_refresh(index, now)
         for index, priority in deferred:
             self.tracker.update(index, priority)

@@ -1,0 +1,149 @@
+"""Static uniform refresh allocation -- the non-adaptive baseline.
+
+The classic strawman against which cooperative scheduling is measured:
+every object is refreshed at the same frequency, round-robin per source,
+regardless of update rates, weights or observed divergence.  Each source's
+send rate is a static, even share of its primary cache link's mean
+capacity (``C_k / m_k`` for the ``m_k`` sources owned by cache ``k``),
+which is precisely the "uniform allocation" a provisioning system would
+pick without divergence feedback.
+
+Sends are real messages over the constrained topology links, so source-side
+limits and cache-link congestion still apply; the cache side is a plain
+:class:`CacheNode` per cache with no feedback controller.  The multi-cache
+scenario experiments compare this baseline against
+:class:`repro.policies.cooperative.CooperativePolicy` as caches are added.
+"""
+
+from __future__ import annotations
+
+from repro.cache.cache import CacheNode
+from repro.cache.store import CacheStore
+from repro.network.bandwidth import BandwidthProfile
+from repro.network.messages import RefreshMessage
+from repro.network.topology import Topology
+from repro.policies.base import SimulationContext, SyncPolicy
+from repro.sim.events import Phase
+
+
+class UniformAllocationPolicy(SyncPolicy):
+    """Round-robin refreshes at a static per-source rate.
+
+    Parameters
+    ----------
+    cache_bandwidth:
+        Aggregate cache-side profile; the context's topology splits it
+        across cache links, and each source's budget is an even share of
+        its primary cache's mean rate.
+    source_bandwidths:
+        One profile per source; sends still respect source-side credit.
+    utilization:
+        Fraction of the cache-link share each source actually schedules
+        (default 1.0 -- uniform allocation spends the whole budget).
+    """
+
+    name = "uniform"
+
+    def __init__(self, cache_bandwidth: BandwidthProfile,
+                 source_bandwidths: list[BandwidthProfile],
+                 utilization: float = 1.0) -> None:
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError(
+                f"utilization must be in (0, 1], got {utilization}")
+        self.cache_bandwidth = cache_bandwidth
+        self.source_bandwidths = source_bandwidths
+        self.utilization = utilization
+        self.topology: Topology | None = None
+        self.caches: list[CacheNode] = []
+        self.stores: list[CacheStore] = []
+        self._rates: list[float] = []
+        self._credit: list[float] = []
+        self._cursor: list[int] = []
+        self._sent = 0
+        self._ctx: SimulationContext | None = None
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+    def attach(self, ctx: SimulationContext) -> None:
+        workload = ctx.workload
+        if len(self.source_bandwidths) != workload.num_sources:
+            raise ValueError(
+                f"expected {workload.num_sources} source bandwidth "
+                f"profiles, got {len(self.source_bandwidths)}")
+        self._ctx = ctx
+        self.topology = ctx.build_topology(self.cache_bandwidth,
+                                           self.source_bandwidths)
+        topology = self.topology
+        self.caches = []
+        self.stores = []
+        for k in range(topology.num_caches):
+            store = CacheStore(workload.num_objects,
+                               workload.trace.initial_values)
+            self.stores.append(store)
+            self.caches.append(
+                CacheNode(ctx.objects, ctx.metric, topology,
+                          collector=ctx.collector, store=store,
+                          clock=lambda: ctx.sim.now, cache_id=k))
+        self._rates = []
+        for j in range(workload.num_sources):
+            primary = topology.primary_cache_of(j)
+            peers = len(topology.owned_sources_of(primary))
+            mean_rate = topology.cache_links[primary].profile.mean_rate
+            self._rates.append(self.utilization * mean_rate / max(peers, 1))
+        self._credit = [0.0] * workload.num_sources
+        self._cursor = [0] * workload.num_sources
+        ctx.sim.every(ctx.dt, topology.on_network_tick,
+                      phase=Phase.NETWORK)
+        ctx.sim.every(ctx.dt, self._sources_tick, phase=Phase.SOURCES)
+        ctx.sim.every(ctx.dt, self._caches_tick, phase=Phase.CACHE)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _sources_tick(self, now: float) -> None:
+        ctx = self._ctx
+        assert ctx is not None and self.topology is not None
+        workload = ctx.workload
+        per_source = workload.objects_per_source
+        for j in range(workload.num_sources):
+            # Accrue this tick's share; cap banked credit at one tick's
+            # worth plus one message, mirroring the links' burst cap.
+            earned = self._rates[j] * ctx.dt
+            self._credit[j] = min(self._credit[j] + earned,
+                                  max(1.0, earned) + earned)
+            while self._credit[j] >= 1.0:
+                local = self._cursor[j] % per_source
+                obj = ctx.objects[j * per_source + local]
+                message = RefreshMessage(
+                    source_id=j, sent_at=now, object_index=obj.index,
+                    value=obj.value, update_count=obj.update_count)
+                if not self.topology.send_upstream(message):
+                    break  # out of source-side bandwidth this tick
+                obj.mark_sent(now)
+                self._cursor[j] += 1
+                self._credit[j] -= 1.0
+                self._sent += 1
+
+    def _caches_tick(self, now: float) -> None:
+        for cache in self.caches:
+            cache.on_tick(now)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def refreshes(self) -> int:
+        return sum(cache.refreshes_applied for cache in self.caches)
+
+    def messages_total(self) -> int:
+        return self.topology.cache_messages_total() if self.topology else 0
+
+    def extras(self) -> dict:
+        extras = {
+            "refreshes_sent": self._sent,
+            "cache_queue_peak": (self.topology.cache_queued_peak()
+                                 if self.topology else 0),
+        }
+        if self.topology is not None and self.topology.num_caches > 1:
+            extras["topology"] = self.topology.telemetry()
+        return extras

@@ -49,9 +49,18 @@ class Ticker:
                 self._sim.now + self.interval, self._fire, phase=self.phase)
 
     def cancel(self) -> None:
+        """Stop all future firings and unregister from the simulator.
+
+        Safe to call more than once; the ticker prunes itself from the
+        simulator's registry so long multi-run sessions do not accumulate
+        dead ticker objects.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
         if self._next_event is not None:
             self._next_event.cancel()
+        self._sim._forget_ticker(self)
 
 
 class Simulator:
@@ -133,9 +142,21 @@ class Simulator:
 
     def cancel_all_tickers(self) -> None:
         """Stop every recurring task (used when tearing down a policy)."""
-        for ticker in self._tickers:
+        for ticker in list(self._tickers):
             ticker.cancel()
         self._tickers.clear()
+
+    def _forget_ticker(self, ticker: Ticker) -> None:
+        """Drop a cancelled ticker from the registry (idempotent)."""
+        try:
+            self._tickers.remove(ticker)
+        except ValueError:
+            pass
+
+    @property
+    def active_tickers(self) -> int:
+        """Number of live (not-yet-cancelled) recurring tasks."""
+        return len(self._tickers)
 
     @property
     def pending_events(self) -> int:

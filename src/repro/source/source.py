@@ -18,17 +18,23 @@ from __future__ import annotations
 from repro.core.objects import DataObject
 from repro.core.threshold import ThresholdController
 from repro.network.messages import FeedbackMessage, Message, RefreshMessage
-from repro.network.topology import StarTopology
+from repro.network.topology import Topology
 from repro.source.monitor import PriorityMonitor
 
 
 class SourceNode:
-    """One cooperating source in the star topology."""
+    """One cooperating source; topology-agnostic.
+
+    The source does not care how many caches exist: the topology routes
+    its upstream refreshes to the right cache link(s), and downstream
+    feedback arrives tagged with the ``cache_id`` it came from (recorded in
+    ``feedback_by_cache`` for diagnostics).
+    """
 
     def __init__(self, source_id: int, objects: list[DataObject],
                  monitor: PriorityMonitor,
                  threshold: ThresholdController,
-                 topology: StarTopology) -> None:
+                 topology: Topology) -> None:
         self.source_id = source_id
         self.objects = objects
         self.monitor = monitor
@@ -36,6 +42,7 @@ class SourceNode:
         self.topology = topology
         self.refreshes_sent = 0
         self.feedback_received = 0
+        self.feedback_by_cache: dict[int, int] = {}
         #: callbacks ``hook(obj, now, threshold_driven)`` fired per send
         self.send_hooks: list = []
         self._index_base = min((o.index for o in objects), default=0)
@@ -60,13 +67,15 @@ class SourceNode:
         self.drain(now)
 
     def on_message(self, message: Message, now: float) -> None:
-        """Downstream message from the cache."""
+        """Downstream message from a cache."""
         if isinstance(message, FeedbackMessage):
-            self.on_feedback(now)
+            self.on_feedback(now, cache_id=message.cache_id)
 
-    def on_feedback(self, now: float) -> None:
+    def on_feedback(self, now: float, cache_id: int = 0) -> None:
         """Positive feedback: lower the threshold and use it right away."""
         self.feedback_received += 1
+        self.feedback_by_cache[cache_id] = (
+            self.feedback_by_cache.get(cache_id, 0) + 1)
         at_capacity = self.topology.source_at_capacity(self.source_id)
         self.threshold.on_feedback(now, at_capacity=at_capacity)
         self.drain(now)

@@ -5,6 +5,7 @@ from repro.workloads.buoy import (
     generate_buoy_trace,
     load_buoy_trace,
 )
+from repro.workloads.hotspot import hotspot_shards
 from repro.workloads.random_walk import (
     expected_walk_deviation,
     random_walk_values,
@@ -29,6 +30,7 @@ __all__ = [
     "buoy_workload",
     "expected_walk_deviation",
     "generate_buoy_trace",
+    "hotspot_shards",
     "load_buoy_trace",
     "merge_event_streams",
     "poisson_times",

@@ -26,6 +26,20 @@ class TestParser:
         assert args.fluctuating is True
         assert args.days == 2.0
 
+    def test_multicache_defaults(self):
+        args = build_parser().parse_args(["multicache"])
+        assert args.num_caches == [1, 2, 4]
+        assert args.topology == "sharded"
+        assert args.replication == 2
+
+    def test_multicache_topology_choices(self):
+        args = build_parser().parse_args(
+            ["multicache", "--num-caches", "4", "--topology", "replicated"])
+        assert args.num_caches == [4]
+        assert args.topology == "replicated"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multicache", "--topology", "mesh"])
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["fig7"])
@@ -59,6 +73,13 @@ class TestExecution:
         assert main(["fig5", "--bandwidths", "5", "--days", "1",
                      "--warmup-days", "0.25"]) == 0
         assert "Figure 5" in capsys.readouterr().out
+
+    def test_multicache_tiny_run(self, capsys):
+        assert main(["multicache", "--num-caches", "1", "2",
+                     "--sources", "4", "--objects", "4",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-cache sweep" in out and "uniform" in out
 
     def test_fig6_tiny_run(self, capsys):
         assert main(["fig6", "--sources", "2", "--objects", "5",

@@ -126,3 +126,48 @@ class TestCredit:
         link, _ = make_link(rate=0.0)
         link.refill(1.0)
         assert link.utilization() == 0.0
+
+
+class TestPublicCreditApi:
+    def test_try_consume_spends_credit(self):
+        link, _ = make_link(rate=2.0)
+        link.refill(1.0)
+        assert link.try_consume(1.0)
+        assert link.credit == pytest.approx(1.0)
+
+    def test_try_consume_refuses_without_credit(self):
+        link, _ = make_link(rate=0.0)
+        link.refill(1.0)
+        assert not link.try_consume(1.0)
+        assert link.credit == pytest.approx(0.0)
+
+    def test_try_consume_counts_toward_utilization(self):
+        link, _ = make_link(rate=4.0)
+        link.refill(1.0)
+        link.try_consume(2.0)
+        assert link.utilization() == pytest.approx(0.5)
+
+    def test_send_bypasses_queue(self):
+        """Downstream sends share credit with, but not the queue of, the
+        upstream flow."""
+        link, delivered = make_link(rate=2.0)
+        link.enqueue(msg(0))
+        link.refill(1.0)
+        got = []
+        assert link.send(msg(1), got.append)
+        assert len(got) == 1
+        assert link.queued == 1  # the queued message was not overtaken...
+        assert delivered == []  # ...nor delivered by the send
+
+    def test_send_without_credit_fails(self):
+        link, _ = make_link(rate=0.0)
+        got = []
+        assert not link.send(msg(), got.append)
+        assert got == []
+
+    def test_send_without_receiver_still_spends(self):
+        link, _ = make_link(rate=2.0)
+        link.refill(1.0)
+        assert link.send(msg())
+        assert link.credit == pytest.approx(1.0)
+        assert link.total_sent == 1

@@ -1,0 +1,361 @@
+"""Tests for the multi-cache topology layer.
+
+Covers shard/replica routing, per-cache congestion isolation, the
+topology config factory, and the bit-for-bit equivalence of
+``MultiCacheTopology`` with one cache against the seed ``StarTopology``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.experiments.runner import RunSpec, run_policy
+from repro.network.bandwidth import ConstantBandwidth, ScaledBandwidth
+from repro.network.messages import FeedbackMessage, RefreshMessage
+from repro.network.topology import (
+    MultiCacheTopology,
+    StarTopology,
+    TopologyConfig,
+    replica_assignment,
+    shard_assignment,
+)
+from repro.policies.cooperative import CooperativePolicy
+from repro.policies.uniform import UniformAllocationPolicy
+from repro.workloads.hotspot import hotspot_shards
+from repro.workloads.synthetic import uniform_random_walk
+
+
+def make_multi(cache_rates=(5.0, 5.0), source_rates=(2.0,) * 4,
+               assignment=None):
+    return MultiCacheTopology(
+        [ConstantBandwidth(r) for r in cache_rates],
+        [ConstantBandwidth(r) for r in source_rates],
+        assignment=assignment)
+
+
+class TestAssignments:
+    def test_block_sharding_keeps_ranges_together(self):
+        assert shard_assignment(4, 2, "block") == [(0,), (0,), (1,), (1,)]
+
+    def test_stride_sharding_deals_round_robin(self):
+        assert shard_assignment(4, 2, "stride") == [(0,), (1,), (0,), (1,)]
+
+    def test_block_sharding_balances_uneven_counts(self):
+        caches = [a[0] for a in shard_assignment(5, 2, "block")]
+        assert caches == sorted(caches)
+        counts = [caches.count(k) for k in range(2)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_replica_assignment_ring(self):
+        assignment = replica_assignment(4, 4, 2, "stride")
+        assert assignment[0] == (0, 1)
+        assert assignment[3] == (3, 0)  # wraps around the ring
+
+    def test_replication_bounds_validated(self):
+        with pytest.raises(ValueError):
+            replica_assignment(4, 2, 3)
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            shard_assignment(4, 2, "hash")
+
+
+class TestShardRouting:
+    def test_upstream_reaches_assigned_cache_only(self):
+        topo = make_multi()  # default block: sources 0,1 -> 0; 2,3 -> 1
+        topo.on_network_tick(1.0)
+        received = {0: [], 1: []}
+        topo.set_cache_receiver(received[0].append, cache_id=0)
+        topo.set_cache_receiver(received[1].append, cache_id=1)
+        assert topo.send_upstream(RefreshMessage(source_id=3, sent_at=1.0))
+        assert received[0] == []
+        assert len(received[1]) == 1
+        assert received[1][0].cache_id == 1
+
+    def test_downstream_spends_named_cache_credit(self):
+        topo = make_multi(cache_rates=(1.0, 1.0))
+        topo.on_network_tick(1.0)
+        got = []
+        topo.set_source_receiver(0, got.append)
+        message = FeedbackMessage(source_id=0, sent_at=1.0, cache_id=0)
+        assert topo.send_downstream(message)
+        assert got == [message]
+        # Cache 0's credit is spent; cache 1's is untouched.
+        assert not topo.send_downstream(
+            FeedbackMessage(source_id=0, sent_at=1.0, cache_id=0))
+        assert topo.send_downstream(
+            FeedbackMessage(source_id=2, sent_at=1.0, cache_id=1))
+
+    def test_source_credit_still_binds(self):
+        topo = make_multi(source_rates=(1.0,) * 4)
+        topo.on_network_tick(1.0)
+        assert topo.send_upstream(RefreshMessage(source_id=0, sent_at=1.0))
+        assert not topo.send_upstream(
+            RefreshMessage(source_id=0, sent_at=1.0))
+        assert topo.source_at_capacity(0)
+
+    def test_shape_helpers(self):
+        topo = make_multi()
+        assert topo.num_caches == 2
+        assert topo.num_sources == 4
+        assert topo.caches_of(0) == (0,)
+        assert topo.primary_cache_of(3) == 1
+        assert topo.sources_of(0) == (0, 1)
+        assert topo.owned_sources_of(1) == (2, 3)
+
+    def test_invalid_assignment_rejected(self):
+        with pytest.raises(ValueError):
+            make_multi(assignment=[(0,), (1,), (2,), (0,)])  # unknown cache
+        with pytest.raises(ValueError):
+            make_multi(assignment=[(0, 0), (1,), (1,), (0,)])  # duplicate
+        with pytest.raises(ValueError):
+            make_multi(assignment=[(0,), (1,)])  # wrong length
+
+
+class TestReplicaRouting:
+    def test_upstream_fans_out_to_all_replicas(self):
+        assignment = replica_assignment(4, 2, 2)
+        topo = make_multi(assignment=assignment)
+        topo.on_network_tick(1.0)
+        received = {0: [], 1: []}
+        topo.set_cache_receiver(received[0].append, cache_id=0)
+        topo.set_cache_receiver(received[1].append, cache_id=1)
+        assert topo.send_upstream(
+            RefreshMessage(source_id=0, sent_at=1.0, object_index=7))
+        assert len(received[0]) == 1 and len(received[1]) == 1
+        assert received[0][0].cache_id == 0
+        assert received[1][0].cache_id == 1
+        assert received[1][0].object_index == 7
+
+    def test_fan_out_charges_source_once(self):
+        assignment = replica_assignment(2, 2, 2)
+        topo = make_multi(source_rates=(2.0, 2.0), assignment=assignment)
+        topo.on_network_tick(1.0)
+        topo.send_upstream(RefreshMessage(source_id=0, sent_at=1.0))
+        assert topo.source_links[0].credit == pytest.approx(1.0)
+
+    def test_replicas_consume_each_cache_links_capacity(self):
+        assignment = replica_assignment(2, 2, 2)
+        topo = make_multi(cache_rates=(1.0, 1.0), source_rates=(2.0, 2.0),
+                          assignment=assignment)
+        topo.on_network_tick(1.0)
+        topo.send_upstream(RefreshMessage(source_id=0, sent_at=1.0))
+        assert all(link.credit == pytest.approx(0.0)
+                   for link in topo.cache_links)
+
+    def test_owned_sources_excludes_replica_only(self):
+        assignment = replica_assignment(4, 2, 2)
+        topo = make_multi(assignment=assignment)
+        # Every source reaches both caches, but each is owned by its shard.
+        assert topo.sources_of(0) == (0, 1, 2, 3)
+        assert topo.owned_sources_of(0) == (0, 1)
+        assert topo.owned_sources_of(1) == (2, 3)
+
+
+class TestReplicaStaleness:
+    def test_lagging_replica_cannot_regress_truth(self):
+        """A congested replica link delivering an old snapshot after a
+        faster replica applied a newer one must not reset the shared
+        truth view backwards (phantom divergence)."""
+        from repro.cache.cache import CacheNode
+        from repro.core.objects import DataObject
+
+        topo = make_multi(cache_rates=(10.0, 0.5), source_rates=(10.0, 10.0),
+                          assignment=[(0, 1), (1, 0)])
+        metric = ValueDeviation()
+        obj = DataObject(index=0, source_id=0)
+        fast = CacheNode([obj], metric, topo, cache_id=0)
+        slow = CacheNode([obj], metric, topo, cache_id=1)
+        topo.on_network_tick(1.0)
+        # Two updates, each refreshed immediately; cache 0 applies both
+        # in-tick, cache 1 (rate 0.5) queues both copies.
+        for count, value in ((1, 5.0), (2, 9.0)):
+            obj.apply_update(1.0, value, metric)
+            topo.send_upstream(RefreshMessage(
+                source_id=0, sent_at=1.0, object_index=0, value=value,
+                update_count=count))
+        assert fast.refreshes_applied == 2
+        assert obj.truth.reference_count == 2
+        assert obj.truth.divergence == 0.0
+        # Next ticks: the slow replica drains the stale copy (count 1)
+        # and later the fresh one (count 2).
+        topo.on_network_tick(3.0)
+        assert slow.stale_discards == 1
+        assert obj.truth.reference_count == 2  # not regressed
+        assert obj.truth.divergence == 0.0
+        topo.on_network_tick(5.0)
+        assert slow.refreshes_applied == 1  # the count-2 copy re-applies
+        assert obj.truth.divergence == 0.0
+
+
+class TestCongestionIsolation:
+    def test_backlog_on_one_cache_does_not_block_another(self):
+        topo = make_multi(cache_rates=(1.0, 10.0),
+                          source_rates=(10.0,) * 4)
+        received = {0: [], 1: []}
+        topo.set_cache_receiver(received[0].append, cache_id=0)
+        topo.set_cache_receiver(received[1].append, cache_id=1)
+        topo.on_network_tick(1.0)
+        for _ in range(4):
+            topo.send_upstream(RefreshMessage(source_id=0, sent_at=1.0))
+            topo.send_upstream(RefreshMessage(source_id=2, sent_at=1.0))
+        # Cache 0 (rate 1) delivered one and queued the rest; cache 1
+        # (rate 10) delivered everything in-tick.
+        assert len(received[0]) == 1
+        assert topo.cache_links[0].queued == 3
+        assert len(received[1]) == 4
+        assert topo.cache_links[1].queued == 0
+
+    def test_tick_drains_fifo_per_cache(self):
+        topo = make_multi(cache_rates=(1.0, 10.0),
+                          source_rates=(10.0,) * 4)
+        received = []
+        topo.set_cache_receiver(received.append, cache_id=0)
+        topo.on_network_tick(1.0)
+        for _ in range(3):
+            topo.send_upstream(RefreshMessage(source_id=0, sent_at=1.0))
+        topo.on_network_tick(2.0)
+        assert len(received) == 2  # one more drained as credit returned
+
+    def test_conservation_per_link(self):
+        topo = make_multi(cache_rates=(1.0, 2.0),
+                          source_rates=(10.0,) * 4)
+        delivered = {0: [], 1: []}
+        topo.set_cache_receiver(delivered[0].append, cache_id=0)
+        topo.set_cache_receiver(delivered[1].append, cache_id=1)
+        for tick in range(1, 6):
+            topo.on_network_tick(float(tick))
+            for j in range(4):
+                topo.send_upstream(RefreshMessage(source_id=j,
+                                                  sent_at=float(tick)))
+        for k, link in enumerate(topo.cache_links):
+            assert link.total_delivered == len(delivered[k])
+            assert link.total_sent == link.total_delivered + link.queued
+
+
+class TestTopologyConfig:
+    def test_star_is_default(self):
+        config = TopologyConfig()
+        topo = config.build(ConstantBandwidth(10.0),
+                            [ConstantBandwidth(1.0)] * 3)
+        assert isinstance(topo, StarTopology)
+
+    def test_sharded_build_splits_bandwidth(self):
+        config = TopologyConfig(kind="sharded", num_caches=4)
+        topo = config.build(ConstantBandwidth(20.0),
+                            [ConstantBandwidth(1.0)] * 8)
+        assert isinstance(topo, MultiCacheTopology)
+        assert topo.num_caches == 4
+        for link in topo.cache_links:
+            assert isinstance(link.profile, ScaledBandwidth)
+            assert link.profile.mean_rate == pytest.approx(5.0)
+
+    def test_single_cache_share_is_the_original_profile(self):
+        profile = ConstantBandwidth(20.0)
+        config = TopologyConfig(kind="sharded", num_caches=1)
+        topo = config.build(profile, [ConstantBandwidth(1.0)] * 3)
+        assert topo.cache_links[0].profile is profile
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="mesh")
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="star", num_caches=2)
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="sharded", num_caches=0)
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="replicated", num_caches=2, replication=3)
+
+    def test_assignment_for_star(self):
+        assert TopologyConfig().assignment_for(3) == [(0,)] * 3
+
+    def test_telemetry_shape(self):
+        topo = make_multi()
+        topo.on_network_tick(1.0)
+        data = topo.telemetry()
+        assert data["num_caches"] == 2
+        assert len(data["cache_utilization"]) == 2
+
+
+class TestStarEquivalence:
+    """MultiCacheTopology(n_caches=1) must reproduce the star bit for bit."""
+
+    @staticmethod
+    def run_cooperative(topology_config, seed=11):
+        rng = np.random.default_rng(seed)
+        num_sources = 6
+        workload = uniform_random_walk(num_sources, 5, horizon=200.0,
+                                       rng=rng)
+        policy = CooperativePolicy(
+            ConstantBandwidth(12.0),
+            [ConstantBandwidth(3.0)] * num_sources,
+            priority_fn=AreaPriority())
+        spec = RunSpec(warmup=40.0, measure=160.0, seed=seed,
+                       topology=topology_config)
+        return run_policy(workload, ValueDeviation(), policy, spec)
+
+    def test_single_cache_matches_star_bit_for_bit(self):
+        star = self.run_cooperative(None)
+        multi = self.run_cooperative(
+            TopologyConfig(kind="sharded", num_caches=1))
+        assert multi.weighted_divergence == star.weighted_divergence
+        assert multi.unweighted_divergence == star.unweighted_divergence
+        assert multi.refreshes == star.refreshes
+        assert multi.feedback_messages == star.feedback_messages
+        assert multi.messages_total == star.messages_total
+
+    def test_multi_cache_changes_but_still_works(self):
+        multi = self.run_cooperative(
+            TopologyConfig(kind="sharded", num_caches=3))
+        assert multi.refreshes > 0
+        assert multi.weighted_divergence > 0.0
+        assert multi.extras["topology"]["num_caches"] == 3
+
+
+class TestMultiCachePolicies:
+    def test_cooperative_beats_uniform_on_hot_shards(self):
+        """The E8 claim, in miniature: adaptive allocation wins."""
+        rng = np.random.default_rng(3)
+        num_sources = 16
+        workload = hotspot_shards(num_sources, 8, horizon=500.0, rng=rng,
+                                  hot_fraction=0.25, hot_boost=8.0)
+        spec = RunSpec(warmup=100.0, measure=400.0,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=4))
+
+        def bandwidths():
+            return (ConstantBandwidth(24.0),
+                    [ConstantBandwidth(4.0)] * num_sources)
+
+        cache_bw, source_bws = bandwidths()
+        cooperative = run_policy(
+            workload, ValueDeviation(),
+            CooperativePolicy(cache_bw, source_bws,
+                              priority_fn=AreaPriority()), spec)
+        cache_bw, source_bws = bandwidths()
+        uniform = run_policy(
+            workload, ValueDeviation(),
+            UniformAllocationPolicy(cache_bw, source_bws), spec)
+        assert cooperative.weighted_divergence < uniform.weighted_divergence
+
+    def test_replicated_cooperative_runs(self):
+        rng = np.random.default_rng(5)
+        num_sources = 8
+        workload = uniform_random_walk(num_sources, 4, horizon=150.0,
+                                       rng=rng)
+        policy = CooperativePolicy(
+            ConstantBandwidth(16.0),
+            [ConstantBandwidth(3.0)] * num_sources,
+            priority_fn=AreaPriority())
+        spec = RunSpec(warmup=30.0, measure=120.0,
+                       topology=TopologyConfig(kind="replicated",
+                                               num_caches=4,
+                                               replication=2))
+        result = run_policy(workload, ValueDeviation(), policy, spec)
+        assert result.refreshes > 0
+        # Each source got feedback from its primary cache only.
+        for source in policy.sources:
+            primaries = set(source.feedback_by_cache)
+            expected = {policy.topology.primary_cache_of(source.source_id)}
+            assert primaries <= expected

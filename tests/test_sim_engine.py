@@ -119,3 +119,28 @@ class TestTickers:
         sim.schedule(1.0, lambda: None)
         sim.every(1.0, lambda t: None)
         assert sim.pending_events == 2
+
+
+class TestTickerRegistry:
+    def test_cancel_prunes_the_ticker_registry(self):
+        """Cancelled tickers must not accumulate across long sessions."""
+        sim = Simulator()
+        ticker = sim.every(1.0, lambda t: None)
+        sim.every(1.0, lambda t: None)
+        assert sim.active_tickers == 2
+        ticker.cancel()
+        assert sim.active_tickers == 1
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        ticker = sim.every(1.0, lambda t: None)
+        ticker.cancel()
+        ticker.cancel()
+        assert sim.active_tickers == 0
+
+    def test_cancel_all_clears_registry(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.every(1.0, lambda t: None)
+        sim.cancel_all_tickers()
+        assert sim.active_tickers == 0
