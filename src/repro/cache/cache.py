@@ -57,6 +57,10 @@ class CacheNode:
         self.poll_responses = 0
         self._poll_handler: Callable[[PollResponse, float], None] | None = None
         self.refresh_hooks: list[Callable[[DataObject, float], None]] = []
+        #: optional callback ``hook(now)`` fired on every delivered message,
+        #: so an event-driven policy can arm this cache's per-tick wakeup
+        #: (deliveries can re-create feedback work on a parked cache)
+        self.activity_hook: Callable[[float], None] | None = None
         topology.set_cache_receiver(self.on_message, cache_id=cache_id)
 
     def set_poll_handler(
@@ -81,6 +85,8 @@ class CacheNode:
             self.poll_responses += 1
             if self._poll_handler is not None:
                 self._poll_handler(message, now)
+        if self.activity_hook is not None:
+            self.activity_hook(now)
 
     def _apply_refresh(self, message: RefreshMessage, now: float) -> None:
         obj = self.objects[message.object_index]

@@ -62,12 +62,41 @@ class FeedbackController:
         self._position = {sid: pos for pos, sid in enumerate(self.source_ids)}
         self.known_thresholds = [float("inf")] * len(self.source_ids)
         self.feedback_sent = 0
+        # Lazy max-heap over (threshold, source) so selecting the top
+        # ``budget`` targets costs O(budget log m) instead of rebuilding an
+        # O(m) candidate list every tick.  Entries are stamped with a
+        # per-source version; stale entries are discarded on pop.
+        self._versions = [0] * len(self.source_ids)
+        self._heap: list[tuple[float, int, int]] = [
+            (float("-inf"), sid, 0) for sid in self.source_ids
+        ]
+        heapq.heapify(self._heap)
+        self._eligible = len(self.source_ids)
 
     def observe_threshold(self, source_id: int, threshold: float) -> None:
         """Record a threshold piggybacked on a refresh message."""
         position = self._position.get(source_id)
         if position is not None:
-            self.known_thresholds[position] = threshold
+            self._set_threshold(position, threshold)
+
+    def _set_threshold(self, position: int, threshold: float) -> None:
+        old = self.known_thresholds[position]
+        self.known_thresholds[position] = threshold
+        self._eligible += ((threshold > self.min_threshold)
+                           - (old > self.min_threshold))
+        self._versions[position] += 1
+        if threshold > self.min_threshold:
+            heapq.heappush(self._heap, (-threshold,
+                                        self.source_ids[position],
+                                        self._versions[position]))
+
+    def has_targets(self) -> bool:
+        """True while at least one source could usefully receive feedback.
+
+        Lets an event-driven cache park its per-tick wakeup once every
+        known threshold has decayed to the floor and the queue is empty.
+        """
+        return self._eligible > 0
 
     def on_tick(self, now: float) -> None:
         """Spend any surplus credit of this cache's link on feedback."""
@@ -88,18 +117,34 @@ class FeedbackController:
             position = self._position[source_id]
             known = self.known_thresholds[position]
             if known != float("inf"):
-                self.known_thresholds[position] = known / self.omega
+                self._set_threshold(position, known / self.omega)
 
     def _select_targets(self, budget: int) -> list[int]:
-        """The ``budget`` eligible sources with the highest thresholds."""
-        candidates = [
-            (source_id, threshold)
-            for source_id, threshold in zip(self.source_ids,
-                                            self.known_thresholds)
-            if threshold > self.min_threshold
-        ]
-        if budget >= len(candidates):
-            return [source_id for source_id, _ in candidates]
-        top = heapq.nlargest(budget, candidates,
-                             key=lambda kv: (kv[1], -kv[0]))
-        return [source_id for source_id, _ in top]
+        """The ``budget`` eligible sources with the highest thresholds.
+
+        When the budget covers every eligible source the selection is all
+        of them in source-id order; otherwise the lazy heap yields the top
+        ``budget`` ordered by (threshold desc, source id asc) -- the same
+        total order the previous ``heapq.nlargest`` scan produced, without
+        rebuilding an O(m) candidate list per tick.
+        """
+        if budget >= self._eligible:
+            return [source_id
+                    for source_id, threshold in zip(self.source_ids,
+                                                    self.known_thresholds)
+                    if threshold > self.min_threshold]
+        selected: list[int] = []
+        popped: list[tuple[float, int, int]] = []
+        heap = self._heap
+        while heap and len(selected) < budget:
+            entry = heapq.heappop(heap)
+            neg_threshold, source_id, version = entry
+            position = self._position[source_id]
+            if (version != self._versions[position]
+                    or -neg_threshold <= self.min_threshold):
+                continue  # stale or no longer eligible
+            selected.append(source_id)
+            popped.append(entry)
+        for entry in popped:  # selection must not consume the entries
+            heapq.heappush(heap, entry)
+        return selected

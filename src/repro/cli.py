@@ -26,6 +26,7 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.multicache import render_multicache, run_multicache
 from repro.experiments.params import best_cell, run_parameter_grid
+from repro.experiments.scale import render_scale, run_scale
 from repro.experiments.tables import (
     render_fig4,
     render_fig5,
@@ -102,6 +103,18 @@ def _cmd_fig6(args: argparse.Namespace) -> str:
     return render_fig6(points, f"Figure 6, m = {args.sources} sources")
 
 
+def _parse_rates(text: str) -> tuple[float, ...]:
+    """Parse a comma-separated rate list (``"8,4,2"``)."""
+    try:
+        rates = tuple(float(part) for part in text.split(",") if part)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(
+            f"expected comma-separated numbers, got {text!r}") from exc
+    if not rates:
+        raise argparse.ArgumentTypeError("expected at least one rate")
+    return rates
+
+
 def _cmd_multicache(args: argparse.Namespace) -> str:
     points = run_multicache(num_caches_list=tuple(args.num_caches),
                             kind=args.topology,
@@ -113,10 +126,26 @@ def _cmd_multicache(args: argparse.Namespace) -> str:
                             hot_fraction=args.hot_fraction,
                             hot_boost=args.hot_boost,
                             warmup=args.warmup, measure=args.measure,
-                            seed=args.seed)
+                            seed=args.seed,
+                            cache_rates=args.cache_rates)
+    label = (f"heterogeneous cache rates {args.cache_rates}"
+             if args.cache_rates else args.topology)
     return render_multicache(
-        points, f"Multi-cache sweep ({args.topology}): cooperative vs "
+        points, f"Multi-cache sweep ({label}): cooperative vs "
                 "uniform allocation, hot-shard workload")
+
+
+def _cmd_scale(args: argparse.Namespace) -> str:
+    points = run_scale(sources=tuple(args.sources),
+                       update_rate=args.update_rate,
+                       cache_bandwidth=args.cache_bandwidth,
+                       source_bandwidth=args.source_bandwidth,
+                       warmup=args.warmup, measure=args.measure,
+                       seed=args.seed,
+                       max_tick_sources=args.max_tick_sources)
+    return render_scale(
+        points, "E9 scale sweep: event-driven wakeups vs per-tick scans "
+                f"(sparse updates, lambda = {args.update_rate}/s)")
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -214,8 +243,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="fraction of sources in the hot shard")
     p.add_argument("--hot-boost", type=float, default=8.0,
                    help="update-rate multiplier for hot sources")
+    p.add_argument("--cache-rates", type=_parse_rates, default=None,
+                   metavar="R1,R2,...",
+                   help="heterogeneous per-cache link rates in msgs/s "
+                        "(e.g. 8,4,2); implies a single sweep point with "
+                        "that many caches and overrides --cache-bandwidth")
     _add_timing(p, warmup=100.0, measure=400.0)
     p.set_defaults(fn=_cmd_multicache)
+
+    p = sub.add_parser("scale",
+                       help="E9 scale sweep: event-driven wakeups vs "
+                            "per-tick scans on sparse workloads")
+    p.add_argument("--sources", type=int, nargs="+",
+                   default=[100, 1000, 10000],
+                   help="source counts to sweep (one object per source)")
+    p.add_argument("--update-rate", type=float, default=0.002,
+                   help="per-object Poisson update rate (<< 1/dt)")
+    p.add_argument("--cache-bandwidth", type=float, default=8.0)
+    p.add_argument("--source-bandwidth", type=float, default=1.0)
+    p.add_argument("--max-tick-sources", type=int, default=2000,
+                   help="skip the tick-scan baseline above this m "
+                        "(it is O(ticks x m); the result is pinned "
+                        "identical anyway)")
+    _add_timing(p, warmup=100.0, measure=500.0)
+    p.set_defaults(fn=_cmd_scale)
 
     p = sub.add_parser("quickstart", help="the README comparison")
     p.set_defaults(fn=_cmd_quickstart)

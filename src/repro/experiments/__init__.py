@@ -23,6 +23,12 @@ from repro.experiments.params import (
     run_parameter_grid,
 )
 from repro.experiments.runner import RunSpec, run_policy
+from repro.experiments.scale import (
+    ScalePoint,
+    render_scale,
+    run_scale,
+    speedups,
+)
 from repro.experiments.validation import (
     ValidationRow,
     run_size_sweep,
@@ -39,6 +45,7 @@ __all__ = [
     "OverheadPoint",
     "ParameterCell",
     "RunSpec",
+    "ScalePoint",
     "ValidationRow",
     "best_cell",
     "run_fig4",
@@ -46,11 +53,14 @@ __all__ = [
     "run_fig6",
     "predicted_overhead_fraction",
     "render_multicache",
+    "render_scale",
     "run_multicache",
     "run_overhead_scaling",
     "run_parameter_grid",
     "run_policy",
+    "run_scale",
     "run_size_sweep",
+    "speedups",
     "run_skewed_validation",
     "run_uniform_validation",
     "series_by_metric",

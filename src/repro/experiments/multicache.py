@@ -66,14 +66,22 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
                    hot_boost: float = 8.0,
                    warmup: float = 100.0,
                    measure: float = 400.0,
-                   seed: int = 0) -> list[MultiCachePoint]:
+                   seed: int = 0,
+                   cache_rates: tuple[float, ...] | None = None
+                   ) -> list[MultiCachePoint]:
     """Sweep cache-node counts on one seeded hot-shard workload.
 
     The workload and the aggregate bandwidth are held fixed across the
     sweep, so the only thing that changes is how the cache side is
     partitioned -- exactly the topology axis the related cooperative-
-    caching surveys identify as dominant.
+    caching surveys identify as dominant.  ``cache_rates`` pins explicit
+    heterogeneous per-cache link rates (msgs/s) instead of the even
+    aggregate split; the sweep then runs the single ``len(cache_rates)``
+    point, since the rates define the cache count.
     """
+    if cache_rates is not None:
+        cache_rates = tuple(float(r) for r in cache_rates)
+        num_caches_list = (len(cache_rates),)
     rng = np.random.default_rng(seed)
     horizon = warmup + measure
     workload = hotspot_shards(num_sources, objects_per_source, horizon,
@@ -83,10 +91,11 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
     points: list[MultiCachePoint] = []
     for num_caches in num_caches_list:
         if num_caches == 1:
-            config = TopologyConfig()  # the paper's star
+            config = TopologyConfig(cache_rates=cache_rates)
         else:
             config = TopologyConfig(kind=kind, num_caches=num_caches,
-                                    replication=replication)
+                                    replication=replication,
+                                    cache_rates=cache_rates)
         spec = RunSpec(warmup=warmup, measure=measure, seed=seed,
                        topology=config)
 

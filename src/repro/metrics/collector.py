@@ -60,6 +60,18 @@ class DivergenceCollector:
         if now > self._end:
             self._end = now
 
+    def schedule_resample(self, sim, interval: float):
+        """Register this collector's periodic re-break on its own cadence.
+
+        The collector is event-driven -- :meth:`record` fires only when a
+        divergence actually changes -- so the *only* periodic metric work
+        is this vectorized resample, and it runs at the collector's chosen
+        interval, never per simulation tick.  Returns the ticker so the
+        caller can cancel it.
+        """
+        from repro.sim.events import Phase
+        return sim.every(interval, self.resample, phase=Phase.METRICS)
+
     def resample(self, now: float) -> None:
         """Re-break every object's current piece at ``now``.
 

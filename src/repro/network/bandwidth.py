@@ -38,6 +38,17 @@ class BandwidthProfile(ABC):
     def mean_rate(self) -> float:
         """Long-run average capacity, used e.g. for feedback-period estimates."""
 
+    @property
+    def steady_rate(self) -> float | None:
+        """The constant rate when this profile never varies, else ``None``.
+
+        A steady profile earns the same capacity every tick, which lets an
+        idle link's per-tick refills be replayed lazily in closed form (the
+        per-tick credit caps telescope -- see ``Link.sync_to_tick``).
+        Time-varying profiles return ``None`` and keep eager refills.
+        """
+        return None
+
 
 class ConstantBandwidth(BandwidthProfile):
     """Fixed capacity: ``rate(t) = B`` for all ``t``."""
@@ -55,6 +66,10 @@ class ConstantBandwidth(BandwidthProfile):
 
     @property
     def mean_rate(self) -> float:
+        return self._rate
+
+    @property
+    def steady_rate(self) -> float | None:
         return self._rate
 
     def __repr__(self) -> str:
@@ -117,6 +132,10 @@ class SineBandwidth(BandwidthProfile):
     def mean_rate(self) -> float:
         return self.mean
 
+    @property
+    def steady_rate(self) -> float | None:
+        return self.mean if self._omega == 0.0 else None
+
     def __repr__(self) -> str:
         return (f"SineBandwidth(mean={self.mean!r}, "
                 f"mB={self.max_change_rate!r}, amplitude={self.amplitude!r})")
@@ -168,6 +187,12 @@ class TraceBandwidth(BandwidthProfile):
         weighted = float(np.sum(self.rates[:-1] * spans))
         return weighted / float(self.times[-1] - self.times[0])
 
+    @property
+    def steady_rate(self) -> float | None:
+        if len(self.rates) == 1 or bool(np.all(self.rates == self.rates[0])):
+            return float(self.rates[0])
+        return None
+
     @classmethod
     def with_outage(cls, rate: float, outage_start: float,
                     outage_end: float) -> "TraceBandwidth":
@@ -207,6 +232,11 @@ class ScaledBandwidth(BandwidthProfile):
     def mean_rate(self) -> float:
         return self.base.mean_rate * self.factor
 
+    @property
+    def steady_rate(self) -> float | None:
+        base = self.base.steady_rate
+        return None if base is None else base * self.factor
+
     def __repr__(self) -> str:
         return f"ScaledBandwidth({self.base!r}, factor={self.factor!r})"
 
@@ -223,6 +253,45 @@ def split_bandwidth(profile: BandwidthProfile,
     if shares == 1:
         return [profile]
     return [ScaledBandwidth(profile, 1.0 / shares) for _ in range(shares)]
+
+
+def replay_credit_ticks(credit: float, earned: float, cap: float,
+                        ticks: int) -> float:
+    """Replay ``ticks`` per-tick ``min(credit + earned, cap)`` accruals.
+
+    Bit-exact against running the per-tick loop eagerly: the identical
+    float operations execute in the identical order, short-circuiting
+    only once a fixpoint is reached (saturation at the cap, or an
+    ``earned`` too small to move the float), after which every further
+    tick provably produces the same value.  This is the arithmetic
+    contract that lets token-bucket schedulers (uniform allocation,
+    competitive own-sends) skip idle ticks without perturbing results.
+    """
+    for _ in range(ticks):
+        new_credit = min(credit + earned, cap)
+        if new_credit == credit:
+            break
+        credit = new_credit
+    return credit
+
+
+def ticks_until_credit(credit: float, earned: float, cap: float,
+                       target: float = 1.0) -> int | None:
+    """Per-tick accruals until ``credit`` reaches ``target`` (None: never).
+
+    Uses the same exact replay as :func:`replay_credit_ticks`, so the
+    predicted crossing tick is the tick the eager schedule would first
+    see ``credit >= target``.  Returns ``None`` when the accrual hits a
+    fixpoint below the target (zero rate, or saturation below it).
+    """
+    ticks = 0
+    while credit < target:
+        new_credit = min(credit + earned, cap)
+        if new_credit == credit:
+            return None
+        credit = new_credit
+        ticks += 1
+    return ticks
 
 
 def make_bandwidth(mean: float, max_change_rate: float = 0.0,

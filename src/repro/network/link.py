@@ -51,6 +51,14 @@ class Link:
         self.queue: deque[Message] = deque()
         self._last_accrue = 0.0
         self._tick_added = 0.0
+        # Lazy-refill state: a link marked lazy by its topology skips the
+        # per-tick refill loop and is brought up to date on first touch.
+        self.lazy = False
+        self._synced_tick = 0
+        self._synced_boundary = 0.0
+        #: optional callback invoked when a message joins the FIFO queue
+        #: (lets a policy arm the owning cache's drain wakeup)
+        self.on_queue: DeliveryCallback | None = None
         # Telemetry for the current tick and cumulative counters.
         self.tick_capacity = 0.0
         self.tick_used = 0.0
@@ -81,6 +89,60 @@ class Link:
         self.tick_capacity = tick_capacity
         self.tick_used = 0.0
         self._tick_added = 0.0
+
+    def sync_to_tick(self, tick_no: int, tick_time: float,
+                     prev_tick_time: float, dt: float) -> None:
+        """Replay the per-tick refills a lazy link skipped, bit for bit.
+
+        Reconstructs every skipped tick boundary by the same repeated
+        ``boundary + dt`` float accumulation the network ticker performs
+        (the chains share their starting float, so they are identical),
+        and executes :meth:`refill`'s accrue/cap/reset sequence at each
+        one -- the identical float operations in the identical order, so
+        a lazily-synced link is indistinguishable from an eagerly
+        refilled one.  Closed forms are *not* safe here: summing
+        ``rate * dt`` per tick and multiplying ``rate * k * dt`` once
+        differ in the last ulp for non-dyadic rates, which is enough to
+        flip a ``has_credit`` decision.
+
+        Cost stays O(1) amortized: once the credit saturates at the
+        refill cap (or the profile adds nothing), every further tick
+        provably reproduces the same state, so the replay jumps straight
+        to the final boundary (``prev_tick_time``/``tick_time``, the
+        ticker's own floats).  A link therefore replays at most the ticks
+        between its last consumption and saturation, never a whole idle
+        span.
+        """
+        pending = tick_no - self._synced_tick
+        if pending <= 0:
+            return
+        boundary = self._synced_boundary
+        while pending > 0:
+            boundary = boundary + dt
+            self.accrue(boundary)
+            tick_capacity = self._tick_added
+            cap = max(1.0, tick_capacity) + tick_capacity
+            saturated = self.credit >= cap or tick_capacity == 0.0
+            self.credit = min(self.credit, cap)
+            self.tick_capacity = tick_capacity
+            self.tick_used = 0.0
+            self._tick_added = 0.0
+            pending -= 1
+            if pending > 0 and saturated:
+                # Saturated: each remaining tick would leave the credit
+                # pinned at that tick's cap, so only the final boundary's
+                # refill is observable.  Replay it directly.
+                self._last_accrue = prev_tick_time
+                self.accrue(tick_time)
+                tick_capacity = self._tick_added
+                self.credit = min(self.credit,
+                                  max(1.0, tick_capacity) + tick_capacity)
+                self.tick_capacity = tick_capacity
+                self.tick_used = 0.0
+                self._tick_added = 0.0
+                break
+        self._synced_tick = tick_no
+        self._synced_boundary = tick_time
 
     def has_credit(self, size: float = 1.0) -> bool:
         return self.credit >= size
@@ -139,6 +201,8 @@ class Link:
         self.total_sent += 1
         if len(self.queue) > self.total_queued_peak:
             self.total_queued_peak = len(self.queue)
+        if self.on_queue is not None:
+            self.on_queue(message)
 
     def transmit_or_queue(self, message: Message) -> bool:
         """Deliver immediately if capacity allows, otherwise queue.

@@ -37,7 +37,11 @@ from abc import ABC, abstractmethod
 from dataclasses import dataclass, replace
 from typing import Callable, Sequence
 
-from repro.network.bandwidth import BandwidthProfile, split_bandwidth
+from repro.network.bandwidth import (
+    BandwidthProfile,
+    ConstantBandwidth,
+    split_bandwidth,
+)
 from repro.network.link import Link
 from repro.network.messages import Message
 
@@ -50,7 +54,63 @@ class Topology(ABC):
     Concrete topologies own the links and implement routing; the interface
     exposes wiring (receiver registration), the per-tick network phase
     (refill + drain), sending in both directions, and capacity telemetry.
+
+    **Active-link set.**  The per-tick network phase used to refill every
+    link, making each tick O(m) even when nothing moves.  Source links
+    with *steady* bandwidth profiles are instead marked lazy: they skip
+    the tick loop and are brought up to date on first touch through
+    :meth:`Link.sync_to_tick`, whose closed-form refill replay is
+    bit-for-bit identical to the eager schedule (steady per-tick caps
+    telescope).  Cache links stay eager -- they carry FIFO queues, surplus
+    telemetry and possibly time-varying profiles -- as do source links
+    with non-steady profiles.  :meth:`set_lazy_links` restores the fully
+    eager schedule (the tick-scan baseline benchmarks measure against).
     """
+
+    # ------------------------------------------------------------------
+    # Shared per-tick state (initialized via _init_network_state)
+    # ------------------------------------------------------------------
+    def _init_network_state(self) -> None:
+        """Set up tick bookkeeping and the active-link set.
+
+        Concrete topologies call this at the end of ``__init__`` once
+        ``self.source_links`` and :attr:`cache_links` exist.
+        """
+        self._tick_no = 0
+        self._tick_time = 0.0
+        self._prev_tick_time = 0.0
+        # The exact ticker interval float: the first network tick fires at
+        # sim-start (0.0) + dt, so its timestamp *is* dt.  Lazy links need
+        # it to reproduce the ticker's boundary accumulation bit for bit.
+        self._tick_dt = 0.0
+        self._lazy_enabled = True
+        self._classify_links()
+
+    def _classify_links(self) -> None:
+        eager: list[Link] = []
+        for link in self.source_links:
+            rate = link.profile.steady_rate
+            link.lazy = self._lazy_enabled and rate is not None
+            if not link.lazy:
+                eager.append(link)
+        self._eager_source_links = eager
+
+    def set_lazy_links(self, enabled: bool) -> None:
+        """Enable/disable lazy source-link refills (call before running)."""
+        self._lazy_enabled = enabled
+        self._classify_links()
+
+    @property
+    def active_link_count(self) -> int:
+        """Links refilled eagerly each network tick (telemetry)."""
+        return len(self._eager_source_links) + len(self.cache_links)
+
+    def _sync_source_link(self, source_id: int) -> None:
+        """Bring a lazy source link up to the last tick boundary."""
+        link = self.source_links[source_id]
+        if link.lazy and link._synced_tick < self._tick_no:
+            link.sync_to_tick(self._tick_no, self._tick_time,
+                              self._prev_tick_time, self._tick_dt)
 
     # ------------------------------------------------------------------
     # Shape
@@ -107,9 +167,22 @@ class Topology(ABC):
     # ------------------------------------------------------------------
     # Per-tick network phase
     # ------------------------------------------------------------------
-    @abstractmethod
     def on_network_tick(self, now: float) -> None:
-        """Refill every link and drain each cache link's FIFO queue."""
+        """Refill every *active* link and drain each cache link's queue.
+
+        Lazy source links are skipped here and catch up on first touch;
+        see the class docstring for why that is behavior-preserving.
+        """
+        self._prev_tick_time = self._tick_time
+        self._tick_no += 1
+        self._tick_time = now
+        if self._tick_no == 1:
+            self._tick_dt = now
+        for link in self._eager_source_links:
+            link.refill(now)
+        for link in self.cache_links:
+            link.refill(now)
+            link.drain()
 
     def drain_cache(self, cache_id: int) -> int:
         """Second in-tick drain of one cache link (the CACHE phase)."""
@@ -189,6 +262,7 @@ class StarTopology(Topology):
         self._source_receivers: list[Receiver | None] = (
             [None] * len(source_profiles))
         self._all_sources = tuple(range(len(source_profiles)))
+        self._init_network_state()
 
     # ------------------------------------------------------------------
     # Shape
@@ -229,20 +303,11 @@ class StarTopology(Topology):
         self._source_receivers[source_id] = receiver
 
     # ------------------------------------------------------------------
-    # Per-tick network phase
-    # ------------------------------------------------------------------
-    def on_network_tick(self, now: float) -> None:
-        """Refill every link and drain the shared cache link."""
-        for link in self.source_links:
-            link.refill(now)
-        self.cache_link.refill(now)
-        self.cache_link.drain()
-
-    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send_upstream(self, message: Message) -> bool:
         """Source -> cache.  Returns False if the source link lacks credit."""
+        self._sync_source_link(message.source_id)
         source_link = self.source_links[message.source_id]
         source_link.accrue(message.sent_at)
         if source_link.queue or not source_link.try_consume(message.size):
@@ -271,6 +336,7 @@ class StarTopology(Topology):
     # Telemetry
     # ------------------------------------------------------------------
     def source_at_capacity(self, source_id: int) -> bool:
+        self._sync_source_link(source_id)
         return not self.source_links[source_id].has_credit()
 
     def total_messages(self) -> int:
@@ -339,6 +405,7 @@ class MultiCacheTopology(Topology):
                   if self._assignment[j][0] == k)
             for k in range(num_caches)
         ]
+        self._init_network_state()
 
     # ------------------------------------------------------------------
     # Shape
@@ -383,20 +450,11 @@ class MultiCacheTopology(Topology):
         return deliver
 
     # ------------------------------------------------------------------
-    # Per-tick network phase
-    # ------------------------------------------------------------------
-    def on_network_tick(self, now: float) -> None:
-        for link in self.source_links:
-            link.refill(now)
-        for link in self._cache_links:
-            link.refill(now)
-            link.drain()
-
-    # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
     def send_upstream(self, message: Message) -> bool:
         """Source -> assigned cache(s); source credit is charged once."""
+        self._sync_source_link(message.source_id)
         source_link = self.source_links[message.source_id]
         source_link.accrue(message.sent_at)
         if source_link.queue or not source_link.try_consume(message.size):
@@ -422,6 +480,7 @@ class MultiCacheTopology(Topology):
     # Telemetry
     # ------------------------------------------------------------------
     def source_at_capacity(self, source_id: int) -> bool:
+        self._sync_source_link(source_id)
         return not self.source_links[source_id].has_credit()
 
     def total_messages(self) -> int:
@@ -473,13 +532,17 @@ class TopologyConfig:
     reports to one of ``num_caches`` caches) or ``"replicated"`` (each
     source fans out to ``replication`` caches).  The aggregate cache-side
     bandwidth is split evenly across the cache links, so scenarios with
-    different ``num_caches`` stay budget-comparable.
+    different ``num_caches`` stay budget-comparable -- unless
+    ``cache_rates`` pins explicit per-cache rates (heterogeneous edges:
+    one beefy regional cache plus thin PoPs), in which case those absolute
+    msgs/s rates replace the even split of the aggregate profile.
     """
 
     kind: str = "star"
     num_caches: int = 1
     replication: int = 2
     strategy: str = "block"
+    cache_rates: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.kind not in ("star", "sharded", "replicated"):
@@ -495,6 +558,16 @@ class TopologyConfig:
             raise ValueError(
                 f"replication must be in [1, {self.num_caches}], "
                 f"got {self.replication}")
+        if self.cache_rates is not None:
+            object.__setattr__(self, "cache_rates",
+                               tuple(float(r) for r in self.cache_rates))
+            if len(self.cache_rates) != self.num_caches:
+                raise ValueError(
+                    f"cache_rates lists {len(self.cache_rates)} rates for "
+                    f"{self.num_caches} caches")
+            if any(r <= 0 for r in self.cache_rates):
+                raise ValueError(
+                    f"cache_rates must be > 0, got {self.cache_rates}")
 
     def assignment_for(self, num_sources: int) -> list[tuple[int, ...]]:
         """The source -> caches map this configuration induces."""
@@ -508,13 +581,18 @@ class TopologyConfig:
 
     def cache_profiles(self, cache_profile: BandwidthProfile
                        ) -> list[BandwidthProfile]:
-        """Even split of the aggregate cache bandwidth across cache links."""
+        """Per-cache link profiles: the explicit heterogeneous rates when
+        configured, otherwise an even split of the aggregate bandwidth."""
+        if self.cache_rates is not None:
+            return [ConstantBandwidth(rate) for rate in self.cache_rates]
         return split_bandwidth(cache_profile, self.num_caches)
 
     def build(self, cache_profile: BandwidthProfile,
               source_profiles: Sequence[BandwidthProfile]) -> Topology:
         """Materialize the topology for one simulation run."""
         if self.kind == "star":
+            if self.cache_rates is not None:
+                cache_profile = ConstantBandwidth(self.cache_rates[0])
             return StarTopology(cache_profile, list(source_profiles))
         return MultiCacheTopology(
             self.cache_profiles(cache_profile), source_profiles,

@@ -23,7 +23,6 @@ from repro.metrics.collector import DivergenceCollector
 from repro.network.bandwidth import BandwidthProfile
 from repro.network.topology import Topology, TopologyConfig
 from repro.sim.engine import Simulator
-from repro.sim.events import Phase
 from repro.sim.random import RngRegistry
 from repro.workloads.synthetic import Workload
 from repro.workloads.trace import TraceReplayer
@@ -98,11 +97,11 @@ class SimulationContext:
 
         ``resample_interval`` adds a periodic re-break of the collector's
         integration pieces, needed for accuracy under fluctuating weights.
+        The collector samples on its own cadence (vectorized over all
+        objects), independent of the simulation tick.
         """
         if resample_interval is not None:
-            self.sim.every(resample_interval,
-                           self.collector.resample,
-                           phase=Phase.METRICS)
+            self.collector.schedule_resample(self.sim, resample_interval)
         self.sim.run_until(end_time)
         self.collector.finalize(end_time)
 

@@ -36,9 +36,10 @@ from repro.core.priority import PriorityFunction
 from repro.core.tracking import PriorityTracker
 from repro.core.weights import WeightModel
 from repro.metrics.collector import DivergenceCollector
+from repro.network.bandwidth import replay_credit_ticks, ticks_until_credit
 from repro.policies.base import SimulationContext
 from repro.policies.cooperative import CooperativePolicy
-from repro.sim.events import Phase
+from repro.sim.events import Phase, WakeupSet
 
 
 class CompetitivePolicy(CooperativePolicy):
@@ -64,6 +65,11 @@ class CompetitivePolicy(CooperativePolicy):
         self._own_credit: list[float] = []
         self._own_rate: list[float] = []
         self.source_collector: DivergenceCollector | None = None
+        # Event-driven own-send state: wakeups keyed by (integer) tick
+        # number of the own-sends dispatcher, per-source last-accrual tick.
+        self._own_wakeups = WakeupSet()
+        self._own_tick_no = 0
+        self._own_credit_tick: list[int] = []
 
     # ------------------------------------------------------------------
     # Wiring
@@ -87,6 +93,9 @@ class CompetitivePolicy(CooperativePolicy):
             cache.add_refresh_hook(self._on_refresh_applied)
         for source in self.sources:
             source.send_hooks.append(self._on_refresh_sent)
+        self._own_wakeups = WakeupSet()
+        self._own_tick_no = 0
+        self._own_credit_tick = [0] * m
         ctx.sim.every(ctx.dt, self._own_sends_tick, phase=Phase.SOURCES)
 
     def _allocate_rates(self, workload) -> list[float]:
@@ -109,6 +118,10 @@ class CompetitivePolicy(CooperativePolicy):
         weight = self.source_weights.weight(obj.index, now)
         priority = self.source_priority_fn.priority(obj, weight, now)
         self._own_trackers[obj.source_id].update(obj.index, priority)
+        if self._event_driven:
+            # Fresh own-priority work: wake at the next own-sends fire
+            # (the same tick when the update lands before SOURCES phase).
+            self._own_wakeups.arm(obj.source_id, self._own_tick_no + 1)
         if self.source_collector is not None:
             self.source_collector.record(obj.index, now,
                                          obj.truth.divergence)
@@ -135,34 +148,81 @@ class CompetitivePolicy(CooperativePolicy):
             earned = self._own_credit[obj.source_id] \
                 + self.psi / (1.0 - self.psi)
             self._own_credit[obj.source_id] = min(earned, 4.0)
+            if self._event_driven:
+                # Earned credit may now cover a piggybacked send.
+                self._own_wakeups.arm(obj.source_id, self._own_tick_no + 1)
 
     # ------------------------------------------------------------------
     # Own-priority sends
+    #
+    # Event mode mirrors the uniform policy's exact-replay trick: wakeups
+    # are keyed by own-dispatcher tick number, and the per-tick token
+    # accruals a parked source skipped are replayed float-for-float at
+    # wake time (short-circuiting once the credit saturates at its cap),
+    # so own-priority sends land on exactly the ticks the full scan chose.
     # ------------------------------------------------------------------
     def _own_sends_tick(self, now: float) -> None:
+        self._own_tick_no += 1
+        if not self._event_driven:
+            for j in range(len(self.sources)):
+                self._own_accrue_one_tick(j)
+                self._own_send_while_credit(j, now)
+            return
+        for j in self._own_wakeups.pop_due(self._own_tick_no):
+            self._own_replay_accrual(j)
+            blocked = self._own_send_while_credit(j, now)
+            if blocked:
+                self._own_wakeups.arm(j, self._own_tick_no + 1)
+            elif len(self._own_trackers[j]):
+                self._own_arm_crossing(j)
+
+    def _own_accrue_one_tick(self, j: int) -> None:
+        if self.option in ("equal", "proportional"):
+            rate_dt = self._own_rate[j] * self._ctx.dt
+            self._own_credit[j] = min(self._own_credit[j] + rate_dt,
+                                      max(1.0, rate_dt))
+        self._own_credit_tick[j] = self._own_tick_no
+
+    def _own_replay_accrual(self, j: int) -> None:
+        if self.option in ("equal", "proportional"):
+            rate_dt = self._own_rate[j] * self._ctx.dt
+            self._own_credit[j] = replay_credit_ticks(
+                self._own_credit[j], rate_dt, max(1.0, rate_dt),
+                self._own_tick_no - self._own_credit_tick[j])
+        self._own_credit_tick[j] = self._own_tick_no
+
+    def _own_send_while_credit(self, j: int, now: float) -> bool:
+        """Drain own-priority sends; True when source-bandwidth-blocked."""
         ctx = self._ctx
-        for j, source in enumerate(self.sources):
-            if self.option in ("equal", "proportional"):
-                self._own_credit[j] = min(
-                    self._own_credit[j] + self._own_rate[j] * ctx.dt,
-                    max(1.0, self._own_rate[j] * ctx.dt))
-            tracker = self._own_trackers[j]
-            while self._own_credit[j] >= 1.0:
-                top = tracker.peek()
-                if top is None:
-                    break
-                index, _ = top
-                obj = ctx.objects[index]
-                if obj.belief.divergence == 0.0:
-                    # Already synchronized by the cache-priority flow.
-                    tracker.pop()
-                    continue
-                if not source._send_refresh(obj, now,
-                                            adjust_threshold=False):
-                    break  # out of source-side bandwidth
+        source = self.sources[j]
+        tracker = self._own_trackers[j]
+        while self._own_credit[j] >= 1.0:
+            top = tracker.peek()
+            if top is None:
+                break
+            index, _ = top
+            obj = ctx.objects[index]
+            if obj.belief.divergence == 0.0:
+                # Already synchronized by the cache-priority flow.
                 tracker.pop()
-                self._own_credit[j] -= 1.0
-                self.own_refreshes_sent += 1
+                continue
+            if not source._send_refresh(obj, now,
+                                        adjust_threshold=False):
+                return True  # out of source-side bandwidth
+            tracker.pop()
+            self._own_credit[j] -= 1.0
+            self.own_refreshes_sent += 1
+        return False
+
+    def _own_arm_crossing(self, j: int) -> None:
+        """Arm source ``j`` at the tick its own-credit next reaches 1.0."""
+        if self.option not in ("equal", "proportional"):
+            return  # contribution credit is earned, not accrued: park
+        rate_dt = self._own_rate[j] * self._ctx.dt
+        ticks = ticks_until_credit(self._own_credit[j], rate_dt,
+                                   max(1.0, rate_dt))
+        if ticks is not None:
+            self._own_wakeups.arm(j, self._own_tick_no + ticks)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -35,7 +35,7 @@ from repro.core.tracking import PriorityTracker
 from repro.network.bandwidth import BandwidthProfile
 from repro.network.topology import Topology
 from repro.policies.base import SimulationContext, SyncPolicy
-from repro.sim.events import Phase
+from repro.sim.events import Phase, WakeupSet
 from repro.source.batching import BatchingSource
 from repro.source.monitor import SamplingMonitor, TriggerMonitor
 from repro.source.source import SourceNode
@@ -73,6 +73,15 @@ class CooperativePolicy(SyncPolicy):
         When ``batch_size > 1``, sources package that many refreshes into
         each message (Sec 10.1 future work), flushing a partial batch
         after ``batch_timeout``.
+    scheduling:
+        ``"event"`` (default): sources and caches are woken per entity by
+        a :class:`~repro.sim.events.WakeupSet` only when they have work
+        (pending bandwidth-blocked refreshes, sampling deadlines, feedback
+        targets, queued messages), and idle steady-profile source links
+        skip the network tick.  ``"tick"``: the paper-literal full scan of
+        every node every ``dt`` (the degenerate "everyone wakes every dt"
+        schedule).  Both produce bit-for-bit identical results; the
+        equivalence tests pin that.
     """
 
     name = "cooperative"
@@ -89,7 +98,11 @@ class CooperativePolicy(SyncPolicy):
                  predictive_sampling: bool = False,
                  reprioritize_interval: float | None = None,
                  batch_size: int = 1,
-                 batch_timeout: float = 5.0) -> None:
+                 batch_timeout: float = 5.0,
+                 scheduling: str = "event") -> None:
+        if scheduling not in ("event", "tick"):
+            raise ValueError(f"unknown scheduling mode {scheduling!r}")
+        self.scheduling = scheduling
         self.cache_bandwidth = cache_bandwidth
         self.source_bandwidths = source_bandwidths
         self.priority_fn = priority_fn
@@ -108,6 +121,9 @@ class CooperativePolicy(SyncPolicy):
         self.stores: list[CacheStore] = []
         self.feedbacks: list[FeedbackController] = []
         self.sources: list[SourceNode] = []
+        self._event_driven = False
+        self._source_wakeups = WakeupSet()
+        self._cache_wakeups = WakeupSet()
 
     # ------------------------------------------------------------------
     # Single-cache conveniences (the star special case)
@@ -176,6 +192,24 @@ class CooperativePolicy(SyncPolicy):
             topology.set_source_receiver(
                 j, self._make_receiver(source, ctx))
 
+        # Time-varying priorities change every object's priority every
+        # tick, so there is nothing to schedule around: fall back to the
+        # degenerate everyone-wakes-every-dt schedule for them.
+        event_requested = self.scheduling == "event"
+        self._event_driven = event_requested and not any(
+            source.monitor.wants_tick for source in self.sources)
+        topology.set_lazy_links(event_requested)
+        self._source_wakeups = WakeupSet()
+        self._cache_wakeups = WakeupSet()
+        if self._event_driven:
+            for j, source in enumerate(self.sources):
+                source.monitor.prime(source.objects)
+                self._rearm_source(j, source, 0.0, blocked=False)
+            for k in range(topology.num_caches):
+                self._cache_wakeups.arm(k, 0.0)
+                self.caches[k].activity_hook = self._make_cache_activity(k)
+                topology.cache_links[k].on_queue = self._make_queue_hook(k)
+
         ctx.add_update_hook(self._on_update)
         ctx.sim.every(ctx.dt, topology.on_network_tick,
                       phase=Phase.NETWORK)
@@ -223,29 +257,87 @@ class CooperativePolicy(SyncPolicy):
                 threshold=lambda: threshold.value)
         raise ValueError(f"unknown monitor kind {self.monitor_kind!r}")
 
-    @staticmethod
-    def _make_receiver(source: SourceNode, ctx: SimulationContext):
+    def _make_receiver(self, source: SourceNode, ctx: SimulationContext):
         def receive(message):
-            source.on_message(message, ctx.sim.now)
+            now = ctx.sim.now
+            blocked = source.on_message(message, now)
+            if self._event_driven:
+                self._rearm_source(source.source_id, source, now, blocked)
         return receive
+
+    def _make_cache_activity(self, cache_id: int):
+        def hook(now: float) -> None:
+            self._cache_wakeups.arm(cache_id, now)
+        return hook
+
+    def _make_queue_hook(self, cache_id: int):
+        def hook(message) -> None:
+            self._cache_wakeups.arm(cache_id, message.sent_at)
+        return hook
 
     # ------------------------------------------------------------------
     # Event routing
+    #
+    # In event mode the per-tick dispatchers below wake only the entities
+    # whose WakeupSet entry is due, in the same ascending-id order the
+    # full scans used; every source entry point (update, feedback, wake)
+    # re-arms the source's wakeup from its blocked status and its
+    # monitor's next sampling deadline.  A source is parked exactly when
+    # a tick-scan visit would have been a no-op, which is what makes the
+    # two schedules bit-for-bit identical.
     # ------------------------------------------------------------------
     def _on_update(self, obj: DataObject, now: float) -> None:
-        self.sources[obj.source_id].on_update(obj, now)
+        source = self.sources[obj.source_id]
+        blocked = source.on_update(obj, now)
+        if self._event_driven:
+            self._rearm_source(obj.source_id, source, now, blocked)
+
+    def _rearm_source(self, j: int, source: SourceNode, now: float,
+                      blocked: bool) -> None:
+        if blocked:
+            # Out of bandwidth with over-threshold work: credit accrues by
+            # the next tick, so wake at the next dispatcher fire.
+            self._source_wakeups.arm(j, now)
+        next_wake = source.monitor.next_wake_time()
+        if next_wake is not None:
+            self._source_wakeups.arm(j, next_wake)
 
     def _sources_tick(self, now: float) -> None:
-        for source in self.sources:
-            source.on_tick(now)
+        if not self._event_driven:
+            for source in self.sources:
+                source.on_tick(now)
+            return
+        for j in self._source_wakeups.pop_due(now, eps=1e-12):
+            source = self.sources[j]
+            blocked = source.on_wake(now)
+            self._rearm_source(j, source, now, blocked)
 
     def _caches_tick(self, now: float) -> None:
-        for cache in self.caches:
+        if not self._event_driven:
+            for cache in self.caches:
+                cache.on_tick(now)
+            return
+        for k in self._cache_wakeups.pop_due(now):
+            cache = self.caches[k]
             cache.on_tick(now)
+            if self._cache_needs_tick(cache):
+                self._cache_wakeups.arm(k, now)
+
+    def _cache_needs_tick(self, cache: CacheNode) -> bool:
+        """A cache keeps its per-tick wakeup while it has queued messages
+        to drain or feedback-eligible sources to pay surplus credit to."""
+        assert self.topology is not None
+        if self.topology.cache_links[cache.cache_id].queue:
+            return True
+        return cache.feedback is not None and cache.feedback.has_targets()
 
     def _reprioritize_all(self, now: float) -> None:
-        for source in self.sources:
+        for j, source in enumerate(self.sources):
             source.monitor.refresh_priorities(source.objects, now)
+            if self._event_driven and len(source.monitor.tracker):
+                # Re-evaluated priorities may now clear the threshold; the
+                # tick-scan schedule would notice at the next tick's drain.
+                self._source_wakeups.arm(j, now)
 
     # ------------------------------------------------------------------
     # Reporting

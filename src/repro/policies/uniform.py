@@ -19,11 +19,15 @@ from __future__ import annotations
 
 from repro.cache.cache import CacheNode
 from repro.cache.store import CacheStore
-from repro.network.bandwidth import BandwidthProfile
+from repro.network.bandwidth import (
+    BandwidthProfile,
+    replay_credit_ticks,
+    ticks_until_credit,
+)
 from repro.network.messages import RefreshMessage
 from repro.network.topology import Topology
 from repro.policies.base import SimulationContext, SyncPolicy
-from repro.sim.events import Phase
+from repro.sim.events import Phase, WakeupSet
 
 
 class UniformAllocationPolicy(SyncPolicy):
@@ -40,19 +44,28 @@ class UniformAllocationPolicy(SyncPolicy):
     utilization:
         Fraction of the cache-link share each source actually schedules
         (default 1.0 -- uniform allocation spends the whole budget).
+    scheduling:
+        ``"event"`` (default) wakes each source only on the tick its
+        credit crosses one message, replaying the skipped per-tick
+        accruals in the same float-operation order the tick scan used
+        (bit-for-bit identical); ``"tick"`` is the full per-tick scan.
     """
 
     name = "uniform"
 
     def __init__(self, cache_bandwidth: BandwidthProfile,
                  source_bandwidths: list[BandwidthProfile],
-                 utilization: float = 1.0) -> None:
+                 utilization: float = 1.0,
+                 scheduling: str = "event") -> None:
         if not 0.0 < utilization <= 1.0:
             raise ValueError(
                 f"utilization must be in (0, 1], got {utilization}")
+        if scheduling not in ("event", "tick"):
+            raise ValueError(f"unknown scheduling mode {scheduling!r}")
         self.cache_bandwidth = cache_bandwidth
         self.source_bandwidths = source_bandwidths
         self.utilization = utilization
+        self.scheduling = scheduling
         self.topology: Topology | None = None
         self.caches: list[CacheNode] = []
         self.stores: list[CacheStore] = []
@@ -61,6 +74,11 @@ class UniformAllocationPolicy(SyncPolicy):
         self._cursor: list[int] = []
         self._sent = 0
         self._ctx: SimulationContext | None = None
+        self._event_driven = False
+        self._tick_no = 0
+        self._credit_tick: list[int] = []
+        self._wakeups = WakeupSet()
+        self._cache_wakeups = WakeupSet()
 
     # ------------------------------------------------------------------
     # Wiring
@@ -93,41 +111,114 @@ class UniformAllocationPolicy(SyncPolicy):
             self._rates.append(self.utilization * mean_rate / max(peers, 1))
         self._credit = [0.0] * workload.num_sources
         self._cursor = [0] * workload.num_sources
+        self._event_driven = self.scheduling == "event"
+        topology.set_lazy_links(self._event_driven)
+        self._tick_no = 0
+        self._credit_tick = [0] * workload.num_sources
+        self._wakeups = WakeupSet()
+        self._cache_wakeups = WakeupSet()
+        if self._event_driven:
+            for j in range(workload.num_sources):
+                self._arm_crossing(j)
+            for k in range(topology.num_caches):
+                topology.cache_links[k].on_queue = self._make_queue_hook(k)
         ctx.sim.every(ctx.dt, topology.on_network_tick,
                       phase=Phase.NETWORK)
         ctx.sim.every(ctx.dt, self._sources_tick, phase=Phase.SOURCES)
         ctx.sim.every(ctx.dt, self._caches_tick, phase=Phase.CACHE)
 
+    def _make_queue_hook(self, cache_id: int):
+        def hook(message) -> None:
+            self._cache_wakeups.arm(cache_id, message.sent_at)
+        return hook
+
     # ------------------------------------------------------------------
     # Scheduling
+    #
+    # Event mode keys wakeups by *tick number* (exact integers, immune to
+    # accumulated-float drift in tick times).  Skipped per-tick credit
+    # accruals are replayed at wake time with the identical sequence of
+    # ``min(credit + earned, cap)`` operations the tick scan performed --
+    # float-for-float the same credits, so send ticks match exactly.  The
+    # replay short-circuits once the credit saturates at the cap (parked
+    # or bandwidth-blocked sources), keeping it O(gap between sends).
     # ------------------------------------------------------------------
     def _sources_tick(self, now: float) -> None:
         ctx = self._ctx
         assert ctx is not None and self.topology is not None
-        workload = ctx.workload
-        per_source = workload.objects_per_source
-        for j in range(workload.num_sources):
-            # Accrue this tick's share; cap banked credit at one tick's
-            # worth plus one message, mirroring the links' burst cap.
-            earned = self._rates[j] * ctx.dt
-            self._credit[j] = min(self._credit[j] + earned,
-                                  max(1.0, earned) + earned)
-            while self._credit[j] >= 1.0:
-                local = self._cursor[j] % per_source
-                obj = ctx.objects[j * per_source + local]
-                message = RefreshMessage(
-                    source_id=j, sent_at=now, object_index=obj.index,
-                    value=obj.value, update_count=obj.update_count)
-                if not self.topology.send_upstream(message):
-                    break  # out of source-side bandwidth this tick
-                obj.mark_sent(now)
-                self._cursor[j] += 1
-                self._credit[j] -= 1.0
-                self._sent += 1
+        self._tick_no += 1
+        if not self._event_driven:
+            for j in range(ctx.workload.num_sources):
+                self._accrue_one_tick(j, ctx.dt)
+                self._send_while_credit(j, now)
+            return
+        for j in self._wakeups.pop_due(self._tick_no):
+            self._replay_accrual(j, ctx.dt)
+            blocked = self._send_while_credit(j, now)
+            if blocked:
+                self._wakeups.arm(j, self._tick_no + 1)
+            else:
+                self._arm_crossing(j)
+
+    def _accrue_one_tick(self, j: int, dt: float) -> None:
+        # Accrue this tick's share; cap banked credit at one tick's
+        # worth plus one message, mirroring the links' burst cap.
+        earned = self._rates[j] * dt
+        self._credit[j] = min(self._credit[j] + earned,
+                              max(1.0, earned) + earned)
+        self._credit_tick[j] = self._tick_no
+
+    def _replay_accrual(self, j: int, dt: float) -> None:
+        """Catch up the per-tick accruals skipped since the last wake."""
+        earned = self._rates[j] * dt
+        self._credit[j] = replay_credit_ticks(
+            self._credit[j], earned, max(1.0, earned) + earned,
+            self._tick_no - self._credit_tick[j])
+        self._credit_tick[j] = self._tick_no
+
+    def _send_while_credit(self, j: int, now: float) -> bool:
+        """Round-robin sends while credit lasts; True when send-blocked."""
+        ctx = self._ctx
+        per_source = ctx.workload.objects_per_source
+        while self._credit[j] >= 1.0:
+            local = self._cursor[j] % per_source
+            obj = ctx.objects[j * per_source + local]
+            message = RefreshMessage(
+                source_id=j, sent_at=now, object_index=obj.index,
+                value=obj.value, update_count=obj.update_count)
+            if not self.topology.send_upstream(message):
+                return True  # out of source-side bandwidth this tick
+            obj.mark_sent(now)
+            self._cursor[j] += 1
+            self._credit[j] -= 1.0
+            self._sent += 1
+        return False
+
+    def _arm_crossing(self, j: int) -> None:
+        """Arm source ``j`` at the tick its credit next reaches 1.0.
+
+        A ``None`` crossing (zero rate, or a float fixpoint below one
+        message) parks the source forever -- the tick scan would stall
+        on it identically.
+        """
+        earned = self._rates[j] * self._ctx.dt
+        ticks = ticks_until_credit(self._credit[j], earned,
+                                   max(1.0, earned) + earned)
+        if ticks is not None:
+            self._wakeups.arm(j, self._tick_no + ticks)
 
     def _caches_tick(self, now: float) -> None:
-        for cache in self.caches:
+        if not self._event_driven:
+            for cache in self.caches:
+                cache.on_tick(now)
+            return
+        # Without a feedback controller the cache tick only re-drains its
+        # link queue; wake only the caches whose link actually queued.
+        for k in self._cache_wakeups.pop_due(now):
+            cache = self.caches[k]
             cache.on_tick(now)
+            if self.topology.cache_links[k].queue:
+                self._cache_wakeups.arm(k, now)
 
     # ------------------------------------------------------------------
     # Reporting

@@ -1,7 +1,7 @@
 """Discrete-event simulation kernel (events, engine, reproducible RNG)."""
 
 from repro.sim.engine import SimulationError, Simulator, Ticker
-from repro.sim.events import Event, EventQueue, Phase
+from repro.sim.events import Event, EventQueue, Phase, WakeupSet
 from repro.sim.random import RngRegistry
 
 __all__ = [
@@ -12,4 +12,5 @@ __all__ = [
     "SimulationError",
     "Simulator",
     "Ticker",
+    "WakeupSet",
 ]

@@ -78,6 +78,7 @@ class Simulator:
         self.now = float(start_time)
         self._queue = EventQueue()
         self._tickers: list[Ticker] = []
+        self._wakeups: dict[tuple[int, object], Event] = {}
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -110,6 +111,51 @@ class Simulator:
         ticker = Ticker(self, interval, phase, action, start)
         self._tickers.append(ticker)
         return ticker
+
+    def wake_at(self, key, time: float, action: Callable[[], None],
+                phase: int = Phase.DEFAULT) -> Event:
+        """Schedule or *reschedule* a per-entity timer.
+
+        At most one pending wakeup exists per ``(phase, key)``: calling
+        ``wake_at`` again moves the timer (the previous event is
+        cancelled), which is the natural API for entities whose next
+        deadline keeps changing -- a source's projected threshold
+        crossing, an object's next predictive sample.  The timer fires as
+        an ordinary event, so the ``(time, phase, seq)`` ordering
+        guarantees apply; entities that must preserve a relative order
+        *within* one phase and timestamp should share a dispatcher built
+        on :class:`repro.sim.events.WakeupSet` instead.
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot wake at t={time} < now={self.now}")
+        handle = (int(phase), key)
+        existing = self._wakeups.get(handle)
+        if existing is not None and not existing.cancelled:
+            if existing.time == time:
+                return existing
+            existing.cancel()
+
+        def fire() -> None:
+            if self._wakeups.get(handle) is event:
+                del self._wakeups[handle]
+            action()
+
+        event = self._queue.push(time, phase, fire)
+        self._wakeups[handle] = event
+        return event
+
+    def cancel_wake(self, key, phase: int = Phase.DEFAULT) -> None:
+        """Cancel a pending :meth:`wake_at` timer (no-op if none)."""
+        event = self._wakeups.pop((int(phase), key), None)
+        if event is not None:
+            event.cancel()
+
+    @property
+    def pending_wakeups(self) -> int:
+        """Number of live :meth:`wake_at` timers."""
+        return sum(1 for event in self._wakeups.values()
+                   if not event.cancelled)
 
     # ------------------------------------------------------------------
     # Execution

@@ -47,8 +47,14 @@ class BatchingSource(SourceNode):
     # ------------------------------------------------------------------
     # Refresh scheduling (overrides the one-message-per-object flow)
     # ------------------------------------------------------------------
-    def drain(self, now: float) -> None:
-        """Stage over-threshold objects; flush when full or timed out."""
+    def drain(self, now: float) -> bool:
+        """Stage over-threshold objects; flush when full or timed out.
+
+        A batching source reports "needs a wakeup" whenever refreshes are
+        still staged: a partial batch is waiting on its timeout and a full
+        one may be waiting on bandwidth, both of which resolve on a later
+        tick.
+        """
         tracker = self.monitor.tracker
         staged_indices = {obj.index for obj in self._staged}
         while True:
@@ -66,6 +72,7 @@ class BatchingSource(SourceNode):
             if self._staged_since is None:
                 self._staged_since = now
         self._maybe_flush(now)
+        return bool(self._staged)
 
     def on_tick(self, now: float) -> None:
         super().on_tick(now)

@@ -29,6 +29,7 @@ from repro.core.objects import DataObject
 from repro.core.priority import PriorityFunction
 from repro.core.tracking import PriorityTracker
 from repro.core.weights import WeightModel
+from repro.sim.events import WakeupSet
 
 
 class PriorityMonitor(ABC):
@@ -48,6 +49,36 @@ class PriorityMonitor(ABC):
     @abstractmethod
     def on_tick(self, obj_list: list[DataObject], now: float) -> None:
         """Periodic work (sampling, re-evaluation of time-varying priority)."""
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling hooks
+    # ------------------------------------------------------------------
+    #: True when :meth:`on_tick` does real work *every* tick regardless of
+    #: activity (time-varying priorities); the policy then falls back to
+    #: the degenerate everyone-wakes-every-dt schedule.
+    @property
+    def wants_tick(self) -> bool:
+        return False
+
+    def prime(self, obj_list: list[DataObject]) -> None:
+        """Install initial wakeup state for event-driven scheduling."""
+
+    def next_wake_time(self) -> float | None:
+        """Earliest time this monitor needs its source woken (or ``None``).
+
+        The owning policy arms the source's wakeup with this after every
+        interaction, so a monitor never needs to call back into the
+        engine itself.
+        """
+        return None
+
+    def on_wake(self, source, now: float) -> None:
+        """Deadline-driven replacement for :meth:`on_tick`.
+
+        Called by the policy dispatcher when the source was woken; must
+        perform exactly the work the per-tick scan would have done at this
+        tick for the objects that are actually due.
+        """
 
     def on_refresh_sent(self, obj: DataObject, now: float) -> None:
         """``obj`` was refreshed; drop it from the queue."""
@@ -76,6 +107,14 @@ class TriggerMonitor(PriorityMonitor):
         # need periodic recomputation; everything else is exact already.
         if self.priority_fn.time_varying:
             self.refresh_priorities(obj_list, now)
+
+    @property
+    def wants_tick(self) -> bool:
+        # With a time-varying priority every object's priority changes
+        # every tick, so there is nothing to schedule around; otherwise
+        # priorities move only on updates and the monitor is fully
+        # event-driven (Sec 8.2).
+        return self.priority_fn.time_varying
 
     def refresh_priorities(self, obj_list: list[DataObject],
                            now: float) -> None:
@@ -126,6 +165,10 @@ class SamplingMonitor(PriorityMonitor):
         self._last_sample_div: dict[int, float] = {}
         self._est_integral: dict[int, float] = {}
         self._next_sample: dict[int, float] = {}
+        # Event-driven view of _next_sample: the same deadlines on a heap,
+        # so a wakeup-scheduled source touches only the objects that are
+        # due instead of scanning all of them each tick.
+        self._deadlines = WakeupSet()
 
     # ------------------------------------------------------------------
     # Monitor interface
@@ -140,12 +183,41 @@ class SamplingMonitor(PriorityMonitor):
         self._last_sample_time[index] = now
         self._last_sample_div[index] = 0.0
         self._est_integral[index] = 0.0
-        self._next_sample[index] = now + self.interval
+        self._set_next_sample(index, now + self.interval)
 
     def on_tick(self, obj_list: list[DataObject], now: float) -> None:
         for obj in obj_list:
             if now + 1e-12 >= self._next_sample.get(obj.index, 0.0):
                 self.sample(obj, now)
+
+    # ------------------------------------------------------------------
+    # Event-driven scheduling hooks
+    # ------------------------------------------------------------------
+    def prime(self, obj_list: list[DataObject]) -> None:
+        """Arm every object's deadline (unseen objects are due at once,
+        mirroring ``_next_sample``'s default of 0)."""
+        for obj in obj_list:
+            self._deadlines.reschedule(
+                obj.index, self._next_sample.get(obj.index, 0.0))
+
+    def next_wake_time(self) -> float | None:
+        return self._deadlines.peek_time()
+
+    def on_wake(self, source, now: float) -> None:
+        """Sample exactly the objects whose deadline has arrived.
+
+        ``pop_due`` returns indices ascending, the same order the per-tick
+        scan visited due objects, and the ``1e-12`` slack matches the
+        scan's deadline comparison -- so a wakeup-scheduled source takes
+        bit-identical samples at bit-identical times.
+        """
+        by_index = source._by_index
+        for index in self._deadlines.pop_due(now, eps=1e-12):
+            self.sample(by_index[index], now)
+
+    def _set_next_sample(self, index: int, time: float) -> None:
+        self._next_sample[index] = time
+        self._deadlines.reschedule(index, time)
 
     # ------------------------------------------------------------------
     # Sampling machinery
@@ -173,8 +245,8 @@ class SamplingMonitor(PriorityMonitor):
         elapsed = now - view.last_refresh_time
         priority = (elapsed * divergence - integral) * weight
         self.tracker.update(index, priority)
-        self._next_sample[index] = now + self._next_delay(
-            obj, priority, divergence, last_t, last_d, now, weight)
+        self._set_next_sample(index, now + self._next_delay(
+            obj, priority, divergence, last_t, last_d, now, weight))
 
     def _next_delay(self, obj: DataObject, priority: float,
                     divergence: float, last_t: float, last_d: float,

@@ -51,51 +51,72 @@ class SourceNode:
     # ------------------------------------------------------------------
     # Event handlers
     # ------------------------------------------------------------------
-    def on_update(self, obj: DataObject, now: float) -> None:
+    def on_update(self, obj: DataObject, now: float) -> bool:
         """An update was applied to one of this source's objects.
 
         The paper's sources "decide whether to refresh immediately after
         each update" (Sec 3.4), so after repositioning the object in the
-        priority queue we immediately try to drain.
+        priority queue we immediately try to drain.  Returns True when the
+        drain was cut short by bandwidth (the source needs a wakeup at the
+        next refill to finish).
         """
         self.monitor.on_update(obj, now)
-        self.drain(now)
+        return self.drain(now)
 
     def on_tick(self, now: float) -> None:
-        """Per-tick refresh opportunity (SOURCES phase)."""
+        """Per-tick refresh opportunity (SOURCES phase, tick-scan mode)."""
         self.monitor.on_tick(self.objects, now)
         self.drain(now)
 
-    def on_message(self, message: Message, now: float) -> None:
-        """Downstream message from a cache."""
-        if isinstance(message, FeedbackMessage):
-            self.on_feedback(now, cache_id=message.cache_id)
+    def on_wake(self, now: float) -> bool:
+        """Deadline-driven refresh opportunity (event scheduling).
 
-    def on_feedback(self, now: float, cache_id: int = 0) -> None:
+        Performs exactly what :meth:`on_tick` would have at this tick --
+        the monitor touches only its due objects -- and reports whether
+        the source still has over-threshold work blocked on bandwidth.
+        """
+        self.monitor.on_wake(self, now)
+        return self.drain(now)
+
+    def on_message(self, message: Message, now: float) -> bool:
+        """Downstream message from a cache.  Returns the blocked status
+        of any drain this message triggered."""
+        if isinstance(message, FeedbackMessage):
+            return self.on_feedback(now, cache_id=message.cache_id)
+        return False
+
+    def on_feedback(self, now: float, cache_id: int = 0) -> bool:
         """Positive feedback: lower the threshold and use it right away."""
         self.feedback_received += 1
         self.feedback_by_cache[cache_id] = (
             self.feedback_by_cache.get(cache_id, 0) + 1)
         at_capacity = self.topology.source_at_capacity(self.source_id)
         self.threshold.on_feedback(now, at_capacity=at_capacity)
-        self.drain(now)
+        return self.drain(now)
 
     # ------------------------------------------------------------------
     # Refresh scheduling
     # ------------------------------------------------------------------
-    def drain(self, now: float) -> None:
-        """Send refreshes while priority >= threshold and bandwidth allows."""
+    def drain(self, now: float) -> bool:
+        """Send refreshes while priority >= threshold and bandwidth allows.
+
+        Returns True when an over-threshold object could not be sent for
+        lack of source-side bandwidth -- the caller should schedule a
+        wakeup at the next credit refill; False when the queue is exhausted
+        or the top priority fell below the threshold (only a new update,
+        feedback or sample can change that, each of which re-drains).
+        """
         tracker = self.monitor.tracker
         while True:
             top = tracker.peek()
             if top is None:
-                return
+                return False
             index, priority = top
             if priority < self.threshold.value:
-                return
+                return False
             obj = self._by_index[index]
             if not self._send_refresh(obj, now):
-                return  # out of source-side bandwidth this tick
+                return True  # out of source-side bandwidth this tick
 
     def _send_refresh(self, obj: DataObject, now: float,
                       adjust_threshold: bool = True) -> bool:

@@ -103,7 +103,8 @@ class TestFeedbackController:
         for j in range(3):
             topo.set_source_receiver(
                 j, lambda m, j=j: received[j].append(m))
-        feedback.known_thresholds[:] = [5.0, 50.0, 0.5]
+        for j, threshold in enumerate([5.0, 50.0, 0.5]):
+            feedback.observe_threshold(j, threshold)
         topo.on_network_tick(1.0)
         cache.on_tick(1.0)  # one credit -> only source 1
         assert len(received[1]) == 1
@@ -129,7 +130,8 @@ class TestFeedbackController:
         cache, objects, topo, feedback, clock = make_cache(cache_rate=1.0)
         for j in range(3):
             topo.set_source_receiver(j, lambda m: None)
-        feedback.known_thresholds[:] = [30.0, 20.0, 10.0]
+        for j, threshold in enumerate([30.0, 20.0, 10.0]):
+            feedback.observe_threshold(j, threshold)
         topo.on_network_tick(1.0)
         cache.on_tick(1.0)
         assert feedback.known_thresholds[0] == pytest.approx(3.0)

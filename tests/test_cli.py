@@ -94,3 +94,45 @@ class TestExecution:
                      "--measure", "40"]) == 0
         assert out_file.read_text().strip() != ""
         assert "uniform" in out_file.read_text()
+
+
+class TestScaleCommand:
+    def test_scale_defaults(self):
+        args = build_parser().parse_args(["scale"])
+        assert args.sources == [100, 1000, 10000]
+        assert args.update_rate == 0.002
+        assert args.max_tick_sources == 2000
+
+    def test_scale_tiny_run(self, capsys):
+        assert main(["scale", "--sources", "20", "--warmup", "10",
+                     "--measure", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "scale sweep" in out
+        assert "bit-for-bit" in out
+
+    def test_scale_skips_tick_baseline_above_cap(self, capsys):
+        assert main(["scale", "--sources", "30", "--warmup", "10",
+                     "--measure", "30", "--max-tick-sources", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "tick" not in out.split("scheduler", 1)[1].split("\n")[2]
+
+
+class TestCacheRatesFlag:
+    def test_parses_comma_separated_rates(self):
+        args = build_parser().parse_args(
+            ["multicache", "--cache-rates", "8,4,2"])
+        assert args.cache_rates == (8.0, 4.0, 2.0)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["multicache", "--cache-rates", "fast,slow"])
+
+    def test_heterogeneous_tiny_run(self, capsys):
+        assert main(["multicache", "--cache-rates", "10,6",
+                     "--sources", "4", "--objects", "4",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "heterogeneous cache rates" in out
+        # the rates pin the sweep to a single 2-cache point
+        assert out.count("sharded") == 1

@@ -1,0 +1,310 @@
+"""Bit-for-bit equivalence of the event-driven and tick-scan schedulers.
+
+The event-driven wakeup layer (``scheduling="event"``, the default) must
+be an *optimization only*: on the paper's default configurations every
+policy has to produce exactly the metrics the per-tick scan loops
+(``scheduling="tick"``, the seed's literal schedule) produced -- same
+divergence floats, same refresh/feedback/poll/message counts.  These
+tests pin that across:
+
+* all five policies (cooperative, uniform, competitive, cache-driven CGM,
+  ideal cooperative);
+* the Figure 4 settings (random-walk workload with fluctuating weights
+  and collector resampling, constant and fluctuating bandwidth);
+* the Figure 5 settings (buoy workload, 60 s ticks, fluctuating link);
+* one cache (the paper's star) and four caches (sharded and replicated);
+* the sampling monitor (plain and predictive) and batching sources.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.core.weights import StaticWeights
+from repro.experiments.runner import RunSpec, run_policy
+from repro.network.bandwidth import ConstantBandwidth, SineBandwidth
+from repro.network.topology import TopologyConfig
+from repro.policies.cache_driven import CGMPollingPolicy
+from repro.policies.competitive import CompetitivePolicy
+from repro.policies.cooperative import CooperativePolicy
+from repro.policies.ideal import IdealCooperativePolicy
+from repro.policies.uniform import UniformAllocationPolicy
+from repro.workloads.buoy import buoy_workload
+from repro.workloads.synthetic import uniform_random_walk
+
+M_SOURCES = 10
+N_PER_SOURCE = 10
+HORIZON = 200.0
+SPEC = dict(warmup=50.0, measure=150.0)
+
+
+def fig4_workload(fluctuating_weights=True, seed=0):
+    rng = np.random.default_rng(seed)
+    return uniform_random_walk(num_sources=M_SOURCES,
+                               objects_per_source=N_PER_SOURCE,
+                               horizon=HORIZON, rng=rng,
+                               fluctuating_weights=fluctuating_weights)
+
+
+def cache_profile(mb=0.0):
+    return (ConstantBandwidth(20.0) if mb == 0.0
+            else SineBandwidth(20.0, mb))
+
+
+def source_profiles(mb=0.0):
+    if mb == 0.0:
+        return [ConstantBandwidth(4.0) for _ in range(M_SOURCES)]
+    return [SineBandwidth(4.0, mb, phase=float(j))
+            for j in range(M_SOURCES)]
+
+
+def run_both(make_policy, workload, spec):
+    """Run tick and event schedules; return the two metric tuples."""
+    results = {}
+    for scheduling in ("tick", "event"):
+        result = run_policy(workload, ValueDeviation(),
+                            make_policy(scheduling), spec)
+        results[scheduling] = (
+            result.weighted_divergence,
+            result.unweighted_divergence,
+            result.refreshes,
+            result.feedback_messages,
+            result.poll_messages,
+            result.messages_total,
+        )
+    return results["tick"], results["event"]
+
+
+def assert_equivalent(make_policy, workload, spec):
+    tick, event = run_both(make_policy, workload, spec)
+    assert tick == event, (
+        f"event-driven schedule diverged from tick scan:\n"
+        f"  tick:  {tick}\n  event: {event}")
+
+
+TOPOLOGIES = [
+    pytest.param(None, id="star"),
+    pytest.param(TopologyConfig(kind="sharded", num_caches=4),
+                 id="sharded-4"),
+    pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                replication=2), id="replicated-4"),
+]
+
+
+class TestCooperativeEquivalence:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_fig4_settings(self, topology):
+        """Fig 4 shape: fluctuating weights + collector resampling."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC, resample_interval=10.0, topology=topology)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    def test_fluctuating_bandwidth(self):
+        """Fig 4's mB = 0.25: non-steady links must stay eagerly exact."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC, resample_interval=10.0)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(mb=0.25), source_profiles(mb=0.25),
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    def test_fig5_settings(self):
+        """Fig 5 shape: buoy workload, 60 s ticks, fluctuating link."""
+        rng = np.random.default_rng(5)
+        workload = buoy_workload(rng, days=0.1)
+        m = workload.num_sources
+        mb = 0.25 / 60.0
+        spec = RunSpec(warmup=1800.0, measure=0.1 * 86_400.0 - 1800.0,
+                       dt=60.0)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                SineBandwidth(10.0 / 60.0, mb),
+                [SineBandwidth(10.0 / 60.0, mb, phase=float(j))
+                 for j in range(m)],
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    @pytest.mark.parametrize("predictive", [False, True])
+    def test_sampling_monitor(self, predictive):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), monitor="sampling",
+                sampling_interval=7.0, predictive_sampling=predictive,
+                scheduling=mode),
+            workload, spec)
+
+    def test_batching_sources(self):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), batch_size=3,
+                batch_timeout=4.0, scheduling=mode),
+            workload, spec)
+
+    def test_reprioritize_interval(self):
+        """Periodic bulk re-prioritization must re-arm wakeups."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), reprioritize_interval=15.0,
+                scheduling=mode),
+            workload, spec)
+
+
+class TestUniformEquivalence:
+    @pytest.mark.parametrize("topology", TOPOLOGIES)
+    def test_fig4_settings(self, topology):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC, topology=topology)
+        assert_equivalent(
+            lambda mode: UniformAllocationPolicy(
+                cache_profile(), source_profiles(), scheduling=mode),
+            workload, spec)
+
+    def test_fractional_rates_cross_ticks(self):
+        """Per-source shares < 1 msg/tick exercise the credit replay."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: UniformAllocationPolicy(
+                ConstantBandwidth(3.0), source_profiles(),
+                scheduling=mode),
+            workload, spec)
+
+
+class TestCompetitiveEquivalence:
+    @pytest.mark.parametrize("option",
+                             ["equal", "proportional", "contribution"])
+    def test_all_split_options(self, option):
+        workload = fig4_workload()
+        n = workload.num_objects
+        spec = RunSpec(**SPEC)
+
+        def make(mode):
+            policy = CompetitivePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(),
+                source_weights=StaticWeights.uniform(n),
+                psi=0.25, option=option, scheduling=mode)
+            return policy
+
+        tick, event = run_both(make, workload, spec)
+        assert tick == event
+
+    def test_four_caches(self):
+        workload = fig4_workload()
+        n = workload.num_objects
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=4))
+        assert_equivalent(
+            lambda mode: CompetitivePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(),
+                source_weights=StaticWeights.uniform(n),
+                psi=0.25, scheduling=mode),
+            workload, spec)
+
+
+class TestCacheDrivenEquivalence:
+    @pytest.mark.parametrize("variant", ["cgm1", "cgm2"])
+    def test_cgm_polling(self, variant):
+        workload = fig4_workload(fluctuating_weights=False)
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: CGMPollingPolicy(
+                cache_profile(), variant=variant, scheduling=mode),
+            workload, spec)
+
+    def test_four_caches(self):
+        workload = fig4_workload(fluctuating_weights=False)
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=4))
+        assert_equivalent(
+            lambda mode: CGMPollingPolicy(cache_profile(),
+                                          scheduling=mode),
+            workload, spec)
+
+
+class TestIdealEquivalence:
+    @pytest.mark.parametrize("mb", [0.0, 0.25])
+    def test_fig4_settings(self, mb):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: IdealCooperativePolicy(
+                cache_profile(mb), AreaPriority(),
+                source_bandwidths=source_profiles(mb), scheduling=mode),
+            workload, spec)
+
+    def test_four_caches(self):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=4))
+        assert_equivalent(
+            lambda mode: IdealCooperativePolicy(
+                cache_profile(), AreaPriority(),
+                source_bandwidths=source_profiles(), scheduling=mode),
+            workload, spec)
+
+
+class TestNonDyadicRates:
+    """Regression: non-dyadic steady rates (0.1, 0.3, ...) accumulate
+    per-tick credit sums that no closed form reproduces in the last ulp;
+    the lazy link sync must *replay* the eager refills, not shortcut
+    them.  (Dyadic rates like 0.25 or 4.0 mask the bug.)"""
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 0.7])
+    def test_cooperative_fractional_source_bandwidth(self, rate):
+        rng = np.random.default_rng(3)
+        workload = uniform_random_walk(
+            num_sources=20, objects_per_source=2, horizon=HORIZON,
+            rng=rng)
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                ConstantBandwidth(10.0),
+                [ConstantBandwidth(rate) for _ in range(20)],
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    def test_uniform_fractional_cache_bandwidth(self):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+        assert_equivalent(
+            lambda mode: UniformAllocationPolicy(
+                ConstantBandwidth(1.1), source_profiles(),
+                scheduling=mode),
+            workload, spec)
+
+
+class TestSparseRegime:
+    """The asymptotic-win regime: updates are rare, almost all ticks idle."""
+
+    def test_sparse_sources_identical_and_parked(self):
+        rng = np.random.default_rng(7)
+        workload = uniform_random_walk(
+            num_sources=50, objects_per_source=1, horizon=300.0,
+            rng=rng, rate_range=(0.002, 0.002))
+        spec = RunSpec(warmup=50.0, measure=250.0)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                ConstantBandwidth(4.0),
+                [ConstantBandwidth(1.0) for _ in range(50)],
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)

@@ -171,3 +171,98 @@ class TestPublicCreditApi:
         assert link.send(msg())
         assert link.credit == pytest.approx(1.0)
         assert link.total_sent == 1
+
+
+class TestLazySync:
+    """sync_to_tick must replay skipped refills bit-for-bit: the same
+    accrue/cap float operations at the same tick boundaries the eager
+    schedule performed, including non-dyadic rates whose per-tick sums
+    differ from any closed form in the last ulp."""
+
+    @staticmethod
+    def eager_lazy_pair(rate):
+        return (Link("eager", ConstantBandwidth(rate)),
+                Link("lazy", ConstantBandwidth(rate)))
+
+    def test_sync_matches_eager_refills_when_idle(self):
+        eager, lazy = self.eager_lazy_pair(2.5)
+        for tick in range(1, 8):
+            eager.refill(float(tick))
+        lazy.sync_to_tick(7, 7.0, 6.0, 1.0)
+        assert lazy.credit == eager.credit
+        assert lazy.tick_capacity == eager.tick_capacity
+
+    def test_sync_matches_eager_after_mid_tick_sends(self):
+        eager, lazy = self.eager_lazy_pair(1.5)
+        for link in (eager, lazy):
+            link.refill(1.0)
+            link.accrue(1.4)       # a send mid-tick accrues to its time
+            link.try_consume(1.0)
+        lazy._synced_tick, lazy._synced_boundary = 1, 1.0
+        for tick in range(2, 6):
+            eager.refill(float(tick))
+        lazy.sync_to_tick(5, 5.0, 4.0, 1.0)
+        assert lazy.credit == eager.credit
+
+    def test_sync_is_idempotent_per_tick(self):
+        link = Link("lazy", ConstantBandwidth(2.0))
+        link.sync_to_tick(3, 3.0, 2.0, 1.0)
+        credit = link.credit
+        link.sync_to_tick(3, 3.0, 2.0, 1.0)  # same tick: no double refill
+        assert link.credit == credit
+
+    @pytest.mark.parametrize("rate", [0.25, 0.1, 0.3, 1.0 / 3.0, 0.7])
+    def test_fractional_rate_sync_is_bit_exact(self, rate):
+        """Credit accumulates across skipped ticks exactly as the eager
+        schedule banked it.  The non-dyadic rates are the regression
+        case: summing rate*dt per tick differs from rate*k*dt in the
+        last ulp (e.g. ten 0.1-steps give 0.9999999999999999, not 1.0),
+        which is enough to flip a has_credit decision."""
+        eager, lazy = self.eager_lazy_pair(rate)
+        for tick in range(1, 11):
+            eager.refill(float(tick))
+        lazy.sync_to_tick(10, 10.0, 9.0, 1.0)
+        assert lazy.credit == eager.credit
+        assert lazy.has_credit() == eager.has_credit()
+
+    @pytest.mark.parametrize("rate", [0.1, 0.3, 2.5])
+    def test_long_idle_span_saturation_jump(self, rate):
+        """A long idle span saturates the bucket; the replay's jump to
+        the final boundary must land on the eager schedule's floats."""
+        eager, lazy = self.eager_lazy_pair(rate)
+        boundary = 0.0
+        for _ in range(500):
+            boundary = boundary + 1.0
+            eager.refill(boundary)
+        lazy.sync_to_tick(500, boundary, boundary - 1.0, 1.0)
+        assert lazy.credit == eager.credit
+        assert lazy.tick_capacity == eager.tick_capacity
+
+    def test_consume_between_syncs_stays_exact(self):
+        """Interleave sends and idle spans: the replayed chain must track
+        the eager chain through every consume/refill alternation."""
+        eager, lazy = self.eager_lazy_pair(0.3)
+        tick = 0
+        boundary = 0.0
+        for span in (4, 7, 1, 13, 2):
+            prev = boundary
+            for _ in range(span):
+                prev = boundary
+                boundary = boundary + 1.0
+                eager.refill(boundary)
+            tick += span
+            lazy.sync_to_tick(tick, boundary, prev, 1.0)
+            assert lazy.credit == eager.credit
+            send_at = boundary + 0.4
+            for link in (eager, lazy):
+                link.accrue(send_at)
+                link.try_consume(1.0)
+            assert lazy.credit == eager.credit
+
+    def test_on_queue_hook_fires(self):
+        link = Link("hooked", ConstantBandwidth(0.0))
+        queued = []
+        link.on_queue = queued.append
+        message = FeedbackMessage(source_id=0, sent_at=1.0)
+        link.enqueue(message)
+        assert queued == [message]

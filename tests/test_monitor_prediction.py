@@ -13,6 +13,7 @@ threshold.
 
 import math
 
+import numpy as np
 import pytest
 
 from repro.core.divergence import ValueDeviation
@@ -117,3 +118,111 @@ class TestProjectedCrossing:
         obj.apply_update(2.0, 1.0, metric)  # walked back toward cache
         monitor.sample(obj, 2.0)
         assert monitor._next_sample[0] - 2.0 == pytest.approx(5.0)
+
+
+def make_monitor(threshold=100.0, interval=5.0, min_interval=0.5,
+                 weights=None):
+    return SamplingMonitor(
+        PriorityTracker(), AreaPriority(),
+        weights or StaticWeights.uniform(1), ValueDeviation(),
+        interval=interval, predictive=True,
+        threshold=lambda: threshold, min_interval=min_interval)
+
+
+def sample_linear(monitor, rho, sample_times, step=0.01):
+    """Walk an object's divergence up at ``rho``/s, sampling along the way
+    (two samples give the monitor a nonzero rate estimate)."""
+    obj = DataObject(index=0, source_id=0, value=0.0)
+    metric = ValueDeviation()
+    t = step
+    for when in sample_times:
+        while t <= when + 1e-9:
+            obj.apply_update(t, rho * t, metric)
+            t += step
+        monitor.sample(obj, when)
+    return obj
+
+
+class TestPredictiveFallbacks:
+    """The `_next_delay` guard rails: every code path must land the next
+    sample inside [min_interval, interval] and never schedule into the
+    past, whatever the estimator state looks like."""
+
+    def test_zero_rate_uses_regular_interval(self):
+        """rho == 0 (divergence unchanged between samples) cannot project
+        a crossing; the regular interval applies."""
+        monitor = make_monitor(interval=5.0)
+        obj = DataObject(index=0, source_id=0, value=0.0)
+        metric = ValueDeviation()
+        obj.apply_update(1.0, 3.0, metric)
+        monitor.sample(obj, 1.0)
+        monitor.sample(obj, 2.0)  # same divergence: rho == 0
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(5.0)
+
+    def test_zero_weight_uses_regular_interval(self):
+        """weight <= 0 makes the projection formula singular; fall back."""
+        monitor = make_monitor(interval=6.0,
+                               weights=StaticWeights(np.zeros(1)))
+        sample_linear(monitor, 0.5, [1.0, 2.0])
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(6.0)
+
+    def test_repeated_sample_at_same_instant_uses_regular_interval(self):
+        """elapsed_since_last == 0 would divide by zero estimating rho."""
+        monitor = make_monitor(interval=4.0)
+        obj = linear_divergence_object(0.5, until=2.0)
+        monitor.sample(obj, 2.0)
+        monitor.sample(obj, 2.0)
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(4.0)
+
+    def test_imminent_crossing_clamped_to_min_interval(self):
+        """A projection closer than min_interval clamps up to it (the
+        lower edge of the [min_interval, interval] clamp)."""
+        rho = 2.0
+        monitor = make_monitor(threshold=4.2, interval=50.0,
+                               min_interval=1.5)
+        sample_linear(monitor, rho, [1.0, 2.0])
+        # Priority at t=2 is ~rho*t^2/2 = 4; crossing t=sqrt(4.2)~2.05,
+        # i.e. 0.05s away -- far below min_interval.
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(1.5)
+
+    def test_far_crossing_clamped_to_interval(self):
+        """A projection beyond the regular interval clamps down to it
+        (the upper edge of the clamp)."""
+        monitor = make_monitor(threshold=1e9, interval=8.0)
+        sample_linear(monitor, 0.1, [1.0, 2.0])
+        assert monitor._next_sample[0] - 2.0 == pytest.approx(8.0)
+
+    def test_radicand_guard_returns_min_interval(self):
+        """The negative-radicand branch is defensive (with one threshold
+        evaluation per call, priority < T forces a positive radicand) but
+        must fail safe: sample soon, never crash or schedule backwards."""
+        monitor = make_monitor(threshold=10.0, interval=20.0,
+                               min_interval=0.25)
+        obj = linear_divergence_object(0.5, until=4.0)
+        delay = monitor._next_delay(obj, priority=5.0, divergence=2.0,
+                                    last_t=2.0, last_d=-1e9, now=4.0,
+                                    weight=-0.0)
+        assert delay == pytest.approx(20.0)  # weight <= 0 guard first
+        # Every randomized estimator state stays inside the clamp.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            priority = float(rng.uniform(-5.0, 9.999))
+            divergence = float(rng.uniform(0.0, 10.0))
+            last_d = float(rng.uniform(-10.0, divergence))
+            last_t = float(rng.uniform(0.0, 4.0))
+            weight = float(rng.uniform(0.0, 3.0))
+            delay = monitor._next_delay(
+                obj, priority=priority, divergence=divergence,
+                last_t=last_t, last_d=last_d, now=4.0, weight=weight)
+            assert 0.25 <= delay <= 20.0
+
+    def test_next_delay_feeds_the_wakeup_deadlines(self):
+        """The predictive schedule and the event-driven deadline heap
+        must agree: next_wake_time tracks the earliest _next_sample."""
+        monitor = make_monitor(threshold=30.0, interval=9.0)
+        obj = linear_divergence_object(0.5, until=2.0)
+        monitor.prime([obj])
+        assert monitor.next_wake_time() == pytest.approx(0.0)
+        monitor.sample(obj, 2.0)
+        assert monitor.next_wake_time() == pytest.approx(
+            monitor._next_sample[0])

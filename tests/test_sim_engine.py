@@ -144,3 +144,60 @@ class TestTickerRegistry:
             sim.every(1.0, lambda t: None)
         sim.cancel_all_tickers()
         assert sim.active_tickers == 0
+
+
+class TestWakeAt:
+    def test_wake_at_fires_once(self):
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append(sim.now))
+        sim.run_until(5.0)
+        assert fired == [2.0]
+        assert sim.pending_wakeups == 0
+
+    def test_wake_at_reschedules_the_same_key(self):
+        """A second wake_at for the same key moves the timer."""
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append(("a", sim.now)))
+        sim.wake_at("src-0", 4.0, lambda: fired.append(("b", sim.now)))
+        sim.run_until(5.0)
+        assert fired == [("b", 4.0)]
+
+    def test_same_key_different_phase_is_independent(self):
+        from repro.sim.events import Phase
+        sim = Simulator()
+        fired = []
+        sim.wake_at(0, 2.0, lambda: fired.append("sources"),
+                    phase=Phase.SOURCES)
+        sim.wake_at(0, 2.0, lambda: fired.append("cache"),
+                    phase=Phase.CACHE)
+        sim.run_until(3.0)
+        assert fired == ["sources", "cache"]
+
+    def test_cancel_wake(self):
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append(sim.now))
+        sim.cancel_wake("src-0")
+        sim.run_until(5.0)
+        assert fired == []
+
+    def test_rearm_from_within_the_action(self):
+        sim = Simulator()
+        fired = []
+
+        def fire():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                sim.wake_at("walker", sim.now + 2.0, fire)
+
+        sim.wake_at("walker", 1.0, fire)
+        sim.run_until(10.0)
+        assert fired == [1.0, 3.0, 5.0]
+
+    def test_wake_into_past_raises(self):
+        sim = Simulator()
+        sim.run_until(5.0)
+        with pytest.raises(SimulationError):
+            sim.wake_at("late", 1.0, lambda: None)

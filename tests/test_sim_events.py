@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim.events import Event, EventQueue, Phase
+from repro.sim.events import Event, EventQueue, Phase, WakeupSet
 
 
 class TestPhaseOrdering:
@@ -83,3 +83,93 @@ class TestEventQueue:
         assert queue.peek_time() == pytest.approx(1.0)
         first.cancel()
         assert queue.peek_time() == pytest.approx(3.0)
+
+
+class TestHeapCompaction:
+    def test_cancelled_events_are_evicted_from_deep_in_the_heap(self):
+        """Cancel/reschedule churn must not grow the heap unboundedly."""
+        queue = EventQueue()
+        keeper = queue.push(1000.0, Phase.DEFAULT, lambda: None)
+        for k in range(5000):
+            event = queue.push(1.0 + k * 1e-6, Phase.DEFAULT, lambda: None)
+            event.cancel()
+        assert len(queue) == 1
+        # Cancelled events never reach the top, yet the heap stays small.
+        assert queue.heap_size < 2 * EventQueue.COMPACT_MIN_SIZE
+        assert queue.pop() is keeper
+
+    def test_small_heaps_skip_compaction(self):
+        queue = EventQueue()
+        events = [queue.push(float(k), Phase.DEFAULT, lambda: None)
+                  for k in range(10)]
+        for event in events[:8]:
+            event.cancel()
+        assert queue.heap_size == 10  # below the compaction floor
+        assert len(queue) == 2
+
+    def test_compaction_preserves_pop_order(self):
+        queue = EventQueue()
+        live = []
+        for k in range(300):
+            event = queue.push(float(k), Phase.DEFAULT, lambda k=k: k)
+            if k % 5 == 0:
+                live.append(event)
+            else:
+                event.cancel()
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event)
+        assert popped == live
+
+
+class TestWakeupSet:
+    def test_pop_due_returns_keys_ascending(self):
+        wakeups = WakeupSet()
+        for key in (7, 2, 9, 4):
+            wakeups.arm(key, 1.0)
+        assert wakeups.pop_due(1.0) == [2, 4, 7, 9]
+        assert len(wakeups) == 0
+
+    def test_pop_due_leaves_future_entries(self):
+        wakeups = WakeupSet()
+        wakeups.arm(1, 1.0)
+        wakeups.arm(2, 5.0)
+        assert wakeups.pop_due(2.0) == [1]
+        assert 2 in wakeups
+        assert wakeups.peek_time() == pytest.approx(5.0)
+
+    def test_arm_is_earliest_wins(self):
+        wakeups = WakeupSet()
+        wakeups.arm(1, 5.0)
+        wakeups.arm(1, 2.0)  # moves earlier
+        wakeups.arm(1, 9.0)  # ignored: later than pending
+        assert wakeups.wake_time(1) == pytest.approx(2.0)
+        assert wakeups.pop_due(2.0) == [1]
+
+    def test_reschedule_replaces_even_with_later_time(self):
+        wakeups = WakeupSet()
+        wakeups.reschedule(1, 2.0)
+        wakeups.reschedule(1, 8.0)
+        assert wakeups.pop_due(5.0) == []
+        assert wakeups.pop_due(8.0) == [1]
+
+    def test_disarm_removes_pending_wakeup(self):
+        wakeups = WakeupSet()
+        wakeups.arm(1, 1.0)
+        wakeups.disarm(1)
+        assert wakeups.pop_due(10.0) == []
+        assert wakeups.peek_time() is None
+
+    def test_epsilon_slack_matches_deadline_comparisons(self):
+        wakeups = WakeupSet()
+        wakeups.arm(1, 3.0 + 5e-13)
+        assert wakeups.pop_due(3.0) == []
+        assert wakeups.pop_due(3.0, eps=1e-12) == [1]
+
+    def test_integer_tick_keys(self):
+        """Tick-number wakeups (exact integers) work like float times."""
+        wakeups = WakeupSet()
+        wakeups.arm("a", 3)
+        wakeups.arm("b", 1)
+        assert wakeups.pop_due(2) == ["b"]
+        assert wakeups.pop_due(3) == ["a"]

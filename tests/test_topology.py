@@ -129,3 +129,67 @@ class TestSharedCacheLink:
         link = topo.cache_link
         assert link.total_delivered == len(received)
         assert link.total_sent == link.total_delivered + link.queued
+
+
+class TestHeterogeneousCacheRates:
+    def test_config_builds_per_cache_constant_profiles(self):
+        from repro.network.topology import TopologyConfig
+        config = TopologyConfig(kind="sharded", num_caches=3,
+                                cache_rates=(8.0, 4.0, 2.0))
+        topology = config.build(ConstantBandwidth(99.0),
+                                [ConstantBandwidth(1.0)] * 6)
+        rates = [link.profile.mean_rate for link in topology.cache_links]
+        assert rates == [8.0, 4.0, 2.0]  # aggregate profile overridden
+
+    def test_rates_must_match_cache_count(self):
+        from repro.network.topology import TopologyConfig
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="sharded", num_caches=2,
+                           cache_rates=(8.0, 4.0, 2.0))
+
+    def test_rates_must_be_positive(self):
+        from repro.network.topology import TopologyConfig
+        with pytest.raises(ValueError):
+            TopologyConfig(kind="sharded", num_caches=2,
+                           cache_rates=(8.0, 0.0))
+
+    def test_star_uses_single_rate(self):
+        from repro.network.topology import TopologyConfig
+        config = TopologyConfig(cache_rates=(5.0,))
+        topology = config.build(ConstantBandwidth(99.0),
+                                [ConstantBandwidth(1.0)] * 2)
+        assert topology.cache_links[0].profile.mean_rate == 5.0
+
+
+class TestActiveLinkSet:
+    def test_steady_source_links_are_lazy(self):
+        topo = StarTopology(ConstantBandwidth(10.0),
+                            [ConstantBandwidth(1.0)] * 5)
+        assert all(link.lazy for link in topo.source_links)
+        assert topo.active_link_count == 1  # just the cache link
+
+    def test_non_steady_source_links_stay_eager(self):
+        from repro.network.bandwidth import SineBandwidth
+        topo = StarTopology(ConstantBandwidth(10.0),
+                            [SineBandwidth(1.0, 0.25),
+                             ConstantBandwidth(1.0)])
+        assert not topo.source_links[0].lazy
+        assert topo.source_links[1].lazy
+        assert topo.active_link_count == 2
+
+    def test_set_lazy_links_false_restores_eager_schedule(self):
+        topo = StarTopology(ConstantBandwidth(10.0),
+                            [ConstantBandwidth(1.0)] * 3)
+        topo.set_lazy_links(False)
+        assert topo.active_link_count == 4
+        topo.on_network_tick(1.0)
+        assert all(link.tick_capacity == 1.0 for link in topo.source_links)
+
+    def test_lazy_link_synced_before_capacity_check(self):
+        """source_at_capacity on an untouched lazy link must see the
+        credit the eager schedule would have banked."""
+        topo = StarTopology(ConstantBandwidth(10.0),
+                            [ConstantBandwidth(0.5)] * 2)
+        for tick in range(1, 5):
+            topo.on_network_tick(float(tick))
+        assert not topo.source_at_capacity(0)  # 0.5/tick banked >= 1.0
