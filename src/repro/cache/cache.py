@@ -15,6 +15,8 @@ from __future__ import annotations
 
 from typing import Callable
 
+import numpy as np
+
 from repro.cache.feedback import FeedbackController
 from repro.cache.store import CacheStore
 from repro.core.divergence import DivergenceMetric
@@ -107,20 +109,33 @@ class CacheNode:
 
     def _apply_batch(self, message: BatchRefreshMessage,
                      now: float) -> None:
-        """Apply each packaged item of a Sec 10.1 batch refresh."""
+        """Apply each packaged item of a Sec 10.1 batch refresh.
+
+        Object state transitions stay per item (each is a tiny state
+        machine), but the divergence bookkeeping for the whole batch lands
+        in one vectorized :meth:`DivergenceCollector.record_many` call --
+        a batch holds at most one snapshot per object (the batching source
+        coalesces re-updates), which is exactly the contract record_many
+        requires.
+        """
+        applied_indices: list[int] = []
+        applied_divergences: list[float] = []
         for object_index, value, update_count in message.items:
             obj = self.objects[object_index]
             if self._is_stale(obj, update_count):
                 continue
             obj.apply_refresh(now, value, update_count, self.metric)
-            if self.collector is not None:
-                self.collector.record(obj.index, now,
-                                      obj.truth.divergence)
+            applied_indices.append(obj.index)
+            applied_divergences.append(obj.truth.divergence)
             if self.store is not None:
                 self.store.apply(obj.index, value, now)
             self.refreshes_applied += 1
             for hook in self.refresh_hooks:
                 hook(obj, now)
+        if self.collector is not None and applied_indices:
+            self.collector.record_many(np.asarray(applied_indices),
+                                       now,
+                                       np.asarray(applied_divergences))
         if self.feedback is not None:
             self.feedback.observe_threshold(message.source_id,
                                             message.threshold)

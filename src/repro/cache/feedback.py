@@ -26,7 +26,6 @@ from __future__ import annotations
 import heapq
 from typing import Sequence
 
-from repro.network.messages import FeedbackMessage
 from repro.network.topology import Topology
 
 
@@ -99,7 +98,13 @@ class FeedbackController:
         return self._eligible > 0
 
     def on_tick(self, now: float) -> None:
-        """Spend any surplus credit of this cache's link on feedback."""
+        """Spend any surplus credit of this cache's link on feedback.
+
+        The whole target batch goes through one
+        :meth:`Topology.send_downstream_batch` call -- one link accrue,
+        one counter update, one reused message object -- instead of a
+        per-target :class:`FeedbackMessage` allocation and ``send``.
+        """
         surplus = self.topology.cache_surplus(self.cache_id)
         budget = int(surplus)
         if budget <= 0:
@@ -107,32 +112,47 @@ class FeedbackController:
         if self.max_per_tick is not None:
             budget = min(budget, self.max_per_tick)
         budget = min(budget, len(self.source_ids))
-        targets = self._select_targets(budget)
-        for source_id in targets:
-            message = FeedbackMessage(source_id=source_id, sent_at=now,
-                                      cache_id=self.cache_id)
-            if not self.topology.send_downstream(message):
-                break
-            self.feedback_sent += 1
+        targets, entries = self._select_targets(budget)
+        delivered = self.topology.send_downstream_batch(
+            self.cache_id, targets, now)
+        self.feedback_sent += delivered
+        for rank, source_id in enumerate(targets):
             position = self._position[source_id]
-            known = self.known_thresholds[position]
-            if known != float("inf"):
-                self._set_threshold(position, known / self.omega)
+            if rank < delivered:
+                # The protocol's optimistic ``/ omega``; its _set_threshold
+                # pushes a fresh heap entry, superseding the drained one.
+                # A still-infinite threshold has no entry to supersede, so
+                # the drained entry goes back as is.
+                known = self.known_thresholds[position]
+                if known != float("inf"):
+                    self._set_threshold(position, known / self.omega)
+                elif entries is not None:
+                    heapq.heappush(self._heap, entries[rank])
+            elif entries is not None:
+                # Out of credit before this target: nothing changed for it,
+                # so its drained entry is restored untouched.
+                heapq.heappush(self._heap, entries[rank])
 
-    def _select_targets(self, budget: int) -> list[int]:
+    def _select_targets(self, budget: int
+                        ) -> tuple[list[int],
+                                   list[tuple[float, int, int]] | None]:
         """The ``budget`` eligible sources with the highest thresholds.
 
         When the budget covers every eligible source the selection is all
-        of them in source-id order; otherwise the lazy heap yields the top
-        ``budget`` ordered by (threshold desc, source id asc) -- the same
-        total order the previous ``heapq.nlargest`` scan produced, without
-        rebuilding an O(m) candidate list per tick.
+        of them in source-id order (entries ``None``: the heap was not
+        touched); otherwise the lazy heap is *drained* into a local buffer
+        -- top ``budget`` by (threshold desc, source id asc), the same
+        total order a ``heapq.nlargest`` scan would produce -- and the
+        popped entries are returned alongside so :meth:`on_tick` can
+        restore exactly the ones that were not superseded.  Stale entries
+        (version mismatch or decayed to the floor) are dropped permanently
+        during the drain instead of being re-scanned every call.
         """
         if budget >= self._eligible:
-            return [source_id
-                    for source_id, threshold in zip(self.source_ids,
-                                                    self.known_thresholds)
-                    if threshold > self.min_threshold]
+            return ([source_id
+                     for source_id, threshold in zip(self.source_ids,
+                                                     self.known_thresholds)
+                     if threshold > self.min_threshold], None)
         selected: list[int] = []
         popped: list[tuple[float, int, int]] = []
         heap = self._heap
@@ -142,9 +162,7 @@ class FeedbackController:
             position = self._position[source_id]
             if (version != self._versions[position]
                     or -neg_threshold <= self.min_threshold):
-                continue  # stale or no longer eligible
+                continue  # stale or no longer eligible: dropped for good
             selected.append(source_id)
             popped.append(entry)
-        for entry in popped:  # selection must not consume the entries
-            heapq.heappush(heap, entry)
-        return selected
+        return selected, popped

@@ -10,9 +10,14 @@ Usage (installed package)::
     python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
     python -m repro multicache --num-caches 1 2 4 --topology sharded
     python -m repro quickstart            # the README comparison
+    python -m repro profile scale --sources 100000   # cProfile any command
 
 Every subcommand prints the same rows/series the corresponding figure in
 the paper plots; ``--output FILE`` additionally archives the text.
+
+``profile`` wraps any other subcommand in cProfile and appends a top-N
+cumulative-time report -- the measurement loop behind every hot-path
+optimization in this repo (see DESIGN.md Sec 8 for how to read it).
 """
 
 from __future__ import annotations
@@ -142,10 +147,37 @@ def _cmd_scale(args: argparse.Namespace) -> str:
                        source_bandwidth=args.source_bandwidth,
                        warmup=args.warmup, measure=args.measure,
                        seed=args.seed,
-                       max_tick_sources=args.max_tick_sources)
+                       max_tick_sources=args.max_tick_sources,
+                       generator=args.generator)
     return render_scale(
         points, "E9 scale sweep: event-driven wakeups vs per-tick scans "
-                f"(sparse updates, lambda = {args.update_rate}/s)")
+                f"(sparse updates, lambda = {args.update_rate}/s, "
+                f"{args.generator} generation)")
+
+
+def _cmd_profile(args: argparse.Namespace) -> str:
+    """cProfile another subcommand and append the hot-spot report."""
+    import cProfile
+    import io
+    import pstats
+
+    if not args.target:
+        raise SystemExit("profile: expected a subcommand to profile, "
+                         "e.g. `repro profile scale --sources 10000`")
+    if args.target[0] == "profile":
+        raise SystemExit("profile: cannot profile itself")
+    inner = build_parser().parse_args(args.target)
+    inner_fn: Callable[[argparse.Namespace], str] = inner.fn
+    profiler = cProfile.Profile()
+    profiler.enable()
+    text = inner_fn(inner)
+    profiler.disable()
+    report = io.StringIO()
+    stats = pstats.Stats(profiler, stream=report)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    return (f"{text}\n\n--- cProfile: {' '.join(args.target)} "
+            f"(top {args.top} by {args.sort}) ---\n"
+            f"{report.getvalue().rstrip()}")
 
 
 def _cmd_quickstart(args: argparse.Namespace) -> str:
@@ -265,8 +297,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the tick-scan baseline above this m "
                         "(it is O(ticks x m); the result is pinned "
                         "identical anyway)")
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload sampling implementation (legacy = the "
+                        "per-object loops, for generation-cost baselines)")
     _add_timing(p, warmup=100.0, measure=500.0)
     p.set_defaults(fn=_cmd_scale)
+
+    p = sub.add_parser("profile",
+                       help="run another subcommand under cProfile and "
+                            "print the top-N hot spots")
+    p.add_argument("--top", type=int, default=25,
+                   help="number of rows in the profile report")
+    p.add_argument("--sort", choices=["cumulative", "tottime"],
+                   default="cumulative",
+                   help="profile report sort order")
+    p.add_argument("target", nargs=argparse.REMAINDER,
+                   help="subcommand (plus its arguments) to profile")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("quickstart", help="the README comparison")
     p.set_defaults(fn=_cmd_quickstart)

@@ -35,6 +35,23 @@ class WeightModel(ABC):
     def weights(self, t: float) -> np.ndarray:
         """Vector of all ``n`` weights at time ``t``."""
 
+    def weights_at(self, times: np.ndarray,
+                   indices: np.ndarray | None = None) -> np.ndarray:
+        """Weight of each selected object at its *own* evaluation time.
+
+        ``times[k]`` is the evaluation time of object ``indices[k]``
+        (``indices = None`` selects all ``n`` objects, so ``times`` must
+        then have length ``n``).  This is the vectorized form the metrics
+        collector needs for exact piecewise integration, where each
+        object's current piece started at a different time.  Subclasses
+        override with closed forms; this fallback loops and matches
+        :meth:`weight` exactly.
+        """
+        if indices is None:
+            indices = np.arange(self.n)
+        return np.array([self.weight(int(i), float(t))
+                         for i, t in zip(indices, times)], dtype=float)
+
 
 class StaticWeights(WeightModel):
     """Constant per-object weights (the ``I(O,t) = 1`` special case and the
@@ -58,6 +75,12 @@ class StaticWeights(WeightModel):
 
     def weights(self, t: float) -> np.ndarray:
         return self.values
+
+    def weights_at(self, times: np.ndarray,
+                   indices: np.ndarray | None = None) -> np.ndarray:
+        if indices is None:
+            return self.values
+        return self.values[indices]
 
 
 class SineWeights(WeightModel):
@@ -110,6 +133,16 @@ class SineWeights(WeightModel):
         return self.base * (1.0 + self.amplitude
                             * np.sin(self.omega * t + self.phase))
 
+    def weights_at(self, times: np.ndarray,
+                   indices: np.ndarray | None = None) -> np.ndarray:
+        if indices is None:
+            base, amp = self.base, self.amplitude
+            omega, phase = self.omega, self.phase
+        else:
+            base, amp = self.base[indices], self.amplitude[indices]
+            omega, phase = self.omega[indices], self.phase[indices]
+        return base * (1.0 + amp * np.sin(omega * times + phase))
+
 
 class CostAdjustedWeights(WeightModel):
     """Weights divided by per-object refresh cost (paper Sec 10.1).
@@ -141,6 +174,11 @@ class CostAdjustedWeights(WeightModel):
     def weights(self, t: float) -> np.ndarray:
         return self.base.weights(t) / self.costs
 
+    def weights_at(self, times: np.ndarray,
+                   indices: np.ndarray | None = None) -> np.ndarray:
+        costs = self.costs if indices is None else self.costs[indices]
+        return self.base.weights_at(times, indices) / costs
+
 
 class ProductWeights(WeightModel):
     """``W = I * P``: importance times popularity (paper Sec 3.2)."""
@@ -161,3 +199,8 @@ class ProductWeights(WeightModel):
 
     def weights(self, t: float) -> np.ndarray:
         return self.importance.weights(t) * self.popularity.weights(t)
+
+    def weights_at(self, times: np.ndarray,
+                   indices: np.ndarray | None = None) -> np.ndarray:
+        return (self.importance.weights_at(times, indices)
+                * self.popularity.weights_at(times, indices))

@@ -46,6 +46,9 @@ class Fig4Config:
     measure: float = 300.0
     seed: int = 0
     max_objects: int = 2000  #: skip grid points above this object count
+    #: workload sampling implementation ("vectorized" or "legacy"); legacy
+    #: reproduces the pre-vectorization seeded traces bit for bit
+    generator: str = "vectorized"
 
 
 @dataclass
@@ -83,7 +86,7 @@ def run_fig4(config: Fig4Config = Fig4Config()) -> list[Fig4Point]:
         workload = uniform_random_walk(
             num_sources=m, objects_per_source=n,
             horizon=config.warmup + config.measure, rng=rng,
-            fluctuating_weights=True)
+            fluctuating_weights=True, generator=config.generator)
         spec = RunSpec(warmup=config.warmup, measure=config.measure,
                        resample_interval=10.0)
         for metric_name in config.metrics:

@@ -67,7 +67,8 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
                    warmup: float = 100.0,
                    measure: float = 400.0,
                    seed: int = 0,
-                   cache_rates: tuple[float, ...] | None = None
+                   cache_rates: tuple[float, ...] | None = None,
+                   generator: str = "vectorized"
                    ) -> list[MultiCachePoint]:
     """Sweep cache-node counts on one seeded hot-shard workload.
 
@@ -86,7 +87,7 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
     horizon = warmup + measure
     workload = hotspot_shards(num_sources, objects_per_source, horizon,
                               rng, hot_fraction=hot_fraction,
-                              hot_boost=hot_boost)
+                              hot_boost=hot_boost, generator=generator)
     metric = ValueDeviation()
     points: list[MultiCachePoint] = []
     for num_caches in num_caches_list:

@@ -49,11 +49,14 @@ class ScalePoint:
     weighted_divergence: float
     refreshes: int
     feedback_messages: int
+    gen_seconds: float = 0.0  #: wall clock of workload generation
+    generator: str = "vectorized"  #: sampling implementation used
 
 
 def sparse_workload(num_sources: int, horizon: float,
                     rng: np.random.Generator,
-                    update_rate: float = 0.002) -> Workload:
+                    update_rate: float = 0.002,
+                    generator: str = "vectorized") -> Workload:
     """One object per source, all updating at the same sparse Poisson rate.
 
     ``update_rate`` defaults to 0.002/s: with dt = 1 s the expected number
@@ -62,7 +65,8 @@ def sparse_workload(num_sources: int, horizon: float,
     """
     return uniform_random_walk(
         num_sources=num_sources, objects_per_source=1, horizon=horizon,
-        rng=rng, rate_range=(update_rate, update_rate))
+        rng=rng, rate_range=(update_rate, update_rate),
+        generator=generator)
 
 
 def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
@@ -72,20 +76,27 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
               warmup: float = 100.0,
               measure: float = 500.0,
               seed: int = 0,
-              max_tick_sources: int = 2000) -> list[ScalePoint]:
+              max_tick_sources: int = 2000,
+              generator: str = "vectorized") -> list[ScalePoint]:
     """Sweep source counts, timing both schedulers on identical workloads.
 
     Above ``max_tick_sources`` only the event scheduler runs (the tick
     scan at m = 10^4 costs minutes of CI time for a result already pinned
-    identical at smaller m).
+    identical at smaller m).  Workload generation is timed separately
+    (``gen_seconds``): at m = 10^5 the vectorized pipeline is the
+    difference between seconds and minutes of setup, and the benchmark
+    suite tracks both times across PRs in ``BENCH_scale.json``.
     """
     points: list[ScalePoint] = []
     metric = ValueDeviation()
     spec = RunSpec(warmup=warmup, measure=measure, seed=seed)
     for m in sources:
         rng = np.random.default_rng(seed)
+        gen_start = time.perf_counter()
         workload = sparse_workload(m, warmup + measure, rng,
-                                   update_rate=update_rate)
+                                   update_rate=update_rate,
+                                   generator=generator)
+        gen_seconds = time.perf_counter() - gen_start
         schedulings = ("tick", "event") if m <= max_tick_sources \
             else ("event",)
         for scheduling in schedulings:
@@ -103,8 +114,36 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
                 wall_seconds=wall,
                 weighted_divergence=result.weighted_divergence,
                 refreshes=result.refreshes,
-                feedback_messages=result.feedback_messages))
+                feedback_messages=result.feedback_messages,
+                gen_seconds=gen_seconds,
+                generator=generator))
     return points
+
+
+def generation_speedup(num_sources: int, horizon: float,
+                       update_rate: float = 0.002,
+                       seed: int = 0) -> dict:
+    """Time vectorized vs. legacy workload generation at one size.
+
+    Returns a dict with both wall clocks and their ratio -- the number the
+    perf-smoke job archives so generation regressions are visible in the
+    ``BENCH_scale.json`` trajectory.
+    """
+    timings = {}
+    for generator in ("vectorized", "legacy"):
+        rng = np.random.default_rng(seed)
+        start = time.perf_counter()
+        sparse_workload(num_sources, horizon, rng,
+                        update_rate=update_rate, generator=generator)
+        timings[generator] = time.perf_counter() - start
+    return {
+        "num_sources": num_sources,
+        "horizon": horizon,
+        "vectorized_seconds": timings["vectorized"],
+        "legacy_seconds": timings["legacy"],
+        "speedup": (timings["legacy"] / timings["vectorized"]
+                    if timings["vectorized"] > 0 else float("inf")),
+    }
 
 
 def speedups(points: list[ScalePoint]) -> dict[int, float]:
@@ -145,12 +184,13 @@ def render_scale(points: list[ScalePoint], title: str) -> str:
         speedup = ratio.get(p.num_sources, float("nan")) \
             if p.scheduling == "event" else float("nan")
         rows.append([p.num_sources, p.scheduling,
+                     round(p.gen_seconds, 4),
                      round(p.wall_seconds, 4), p.weighted_divergence,
                      p.refreshes, p.feedback_messages,
                      "-" if speedup != speedup else round(speedup, 2)])
     table = format_table(
-        ["sources", "scheduler", "wall s", "divergence", "refreshes",
-         "feedback", "speedup"],
+        ["sources", "scheduler", "gen s", "wall s", "divergence",
+         "refreshes", "feedback", "speedup"],
         rows, title=title)
     verdict = ("schedulers agree bit-for-bit"
                if check_equivalence(points)

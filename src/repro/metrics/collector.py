@@ -60,6 +60,40 @@ class DivergenceCollector:
         if now > self._end:
             self._end = now
 
+    def record_many(self, indices: np.ndarray, now: float,
+                    divergences: np.ndarray) -> None:
+        """Batched :meth:`record`: several objects changed at one instant.
+
+        The integration state of distinct objects is independent, so a
+        batch of :meth:`record` calls at one timestamp vectorizes exactly:
+        per selected object the same close-the-piece arithmetic runs
+        element-wise (weights evaluated at each piece's own start).
+        ``indices`` must not contain duplicates -- a batch refresh delivers
+        at most one snapshot per object.  Used by the batch-refresh
+        delivery path so an m-object batch costs O(1) numpy calls instead
+        of m python-level records.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if not len(indices):
+            return
+        last = self._last_time[indices]
+        lo = np.maximum(last, self.warmup)
+        hi = max(now, self.warmup)
+        d = self._divergence[indices]
+        active = (hi > lo) & (d != 0.0)
+        if active.any():
+            sel = indices[active]
+            span = hi - lo[active]
+            # Same operand order as :meth:`record` (d * w * span), so a
+            # batch and an equivalent sequence of records agree bit for bit.
+            w = self.weights.weights_at(lo[active], sel)
+            self._unweighted_integral[sel] += d[active] * span
+            self._weighted_integral[sel] += d[active] * w * span
+        self._last_time[indices] = now
+        self._divergence[indices] = divergences
+        if now > self._end:
+            self._end = now
+
     def schedule_resample(self, sim, interval: float):
         """Register this collector's periodic re-break on its own cadence.
 
@@ -78,17 +112,23 @@ class DivergenceCollector:
         Keeps weighted integration accurate under fluctuating weights even
         for objects that rarely change.  Vectorized; cheap to call every few
         simulated seconds.
+
+        Each closed piece is weighed at its *start*, exactly as
+        :meth:`record` weighs the piece it closes -- so the integral a
+        fluctuating-weight run accumulates does not depend on whether a
+        piece was closed by an event or by a resample tick.  (Evaluating at
+        the piece end here, as an earlier version did, made totals drift
+        with the resample cadence.)
         """
         lo = np.maximum(self._last_time, self.warmup)
         span = np.maximum(max(now, self.warmup) - lo, 0.0)
         active = (self._divergence != 0.0) & (span > 0.0)
         if active.any():
-            d = self._divergence[active]
-            w = self.weights.weights(now)
-            if np.ndim(w) == 0:
-                w = np.full(self.num_objects, float(w))
-            self._unweighted_integral[active] += d * span[active]
-            self._weighted_integral[active] += d * w[active] * span[active]
+            sel = np.nonzero(active)[0]
+            d = self._divergence[sel]
+            w = self.weights.weights_at(lo[sel], sel)
+            self._unweighted_integral[sel] += d * span[sel]
+            self._weighted_integral[sel] += d * w * span[sel]
         self._last_time[:] = np.maximum(self._last_time, now)
         if now > self._end:
             self._end = now

@@ -43,7 +43,7 @@ from repro.network.bandwidth import (
     split_bandwidth,
 )
 from repro.network.link import Link
-from repro.network.messages import Message
+from repro.network.messages import FeedbackMessage, Message
 
 Receiver = Callable[[Message], None]
 
@@ -84,6 +84,15 @@ class Topology(ABC):
         # it to reproduce the ticker's boundary accumulation bit for bit.
         self._tick_dt = 0.0
         self._lazy_enabled = True
+        # Scratch message reused by send_downstream_batch: feedback carries
+        # no per-message payload beyond its routing fields, so the batch
+        # path restamps one instance instead of allocating per target.
+        self._feedback_scratch = FeedbackMessage(source_id=0)
+        # Downstream receiver slots, one per source; populated later via
+        # set_source_receiver.  Owned here because the concrete base
+        # methods (send_downstream_batch) index it.
+        self._source_receivers: list[Receiver | None] = (
+            [None] * self.num_sources)
         self._classify_links()
 
     def _classify_links(self) -> None:
@@ -211,6 +220,45 @@ class Topology(ABC):
         """Cache ``message.cache_id`` -> source ``message.source_id``.
         Consumes that cache link's credit; immediate delivery."""
 
+    def send_downstream_batch(self, cache_id: int,
+                              source_ids: Sequence[int],
+                              now: float) -> int:
+        """Positive feedback from one cache to many sources; returns the
+        number delivered (a prefix of ``source_ids``).
+
+        The fast path behind :meth:`FeedbackController.on_tick`: the cache
+        link is charged through one accrue and one counter update for the
+        whole batch, and a single scratch :class:`FeedbackMessage` is
+        restamped per target instead of allocating one per message.
+
+        Credit is still *consumed* one message at a time, interleaved with
+        delivery.  That is deliberate, not an oversight: delivering
+        feedback makes the source drain, and the refreshes it sends come
+        straight back through this same cache link's credit bucket -- a
+        pre-charged batch would let later feedback messages spend credit
+        the re-entrant refreshes already used, diverging from the
+        per-message path the equivalence suite pins.  Receivers must not
+        retain the scratch message beyond the callback.
+        """
+        link = self.cache_links[cache_id]
+        link.accrue(now)
+        receivers = self._source_receivers
+        message = self._feedback_scratch
+        message.cache_id = cache_id
+        message.sent_at = now
+        delivered = 0
+        for source_id in source_ids:
+            if not link.try_consume(message.size):
+                break
+            delivered += 1
+            message.source_id = source_id
+            receiver = receivers[source_id]
+            if receiver is not None:
+                receiver(message)
+        link.total_sent += delivered
+        link.total_delivered += delivered
+        return delivered
+
     # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
@@ -259,8 +307,6 @@ class StarTopology(Topology):
             for j, profile in enumerate(source_profiles)
         ]
         self._cache_receiver: Receiver | None = None
-        self._source_receivers: list[Receiver | None] = (
-            [None] * len(source_profiles))
         self._all_sources = tuple(range(len(source_profiles)))
         self._init_network_state()
 
@@ -395,7 +441,6 @@ class MultiCacheTopology(Topology):
             for j, profile in enumerate(source_profiles)
         ]
         self._cache_receivers: list[Receiver | None] = [None] * num_caches
-        self._source_receivers: list[Receiver | None] = [None] * num_sources
         self._sources_by_cache: list[tuple[int, ...]] = [
             tuple(j for j in range(num_sources) if k in self._assignment[j])
             for k in range(num_caches)

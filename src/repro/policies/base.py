@@ -54,9 +54,10 @@ class SimulationContext:
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         trace = workload.trace
+        owner = workload.owner  # precomputed object -> source map
         self.objects = [
             DataObject(index=i,
-                       source_id=workload.source_of(i),
+                       source_id=int(owner[i]),
                        rate=float(workload.rates[i]),
                        value=float(trace.initial_values[i]))
             for i in range(workload.num_objects)

@@ -73,10 +73,14 @@ class IdealCacheBasedPolicy(SyncPolicy):
         assignment = config.assignment_for(workload.num_sources)
         freqs = np.zeros(len(rates))
         share = self.budget / config.num_caches
+        # Vectorized object -> primary-cache map via the precomputed owner
+        # array (no per-object source_of calls).
+        primaries = np.array([targets[0] for targets in assignment],
+                             dtype=np.int64)
+        primary_of_object = primaries[workload.owner]
         for k in range(config.num_caches):
-            indices = [i for i in range(len(rates))
-                       if assignment[workload.source_of(i)][0] == k]
-            if indices:
+            indices = np.nonzero(primary_of_object == k)[0]
+            if len(indices):
                 freqs[indices] = solve_refresh_frequencies(
                     rates[indices], share)
         return freqs

@@ -119,6 +119,9 @@ class IdealCooperativePolicy(SyncPolicy):
         ]
         assignment = config.assignment_for(ctx.workload.num_sources)
         self._primary_cache = [targets[0] for targets in assignment]
+        # Object -> owning source, precomputed: the drain loop below runs
+        # per refresh opportunity and must not call source_of per object.
+        self._owner = ctx.workload.owner
         if self.source_bandwidths is not None:
             if len(self.source_bandwidths) != ctx.workload.num_sources:
                 raise ValueError(
@@ -184,7 +187,7 @@ class IdealCooperativePolicy(SyncPolicy):
             index, priority = top
             if priority <= 0.0:
                 break
-            source_id = ctx.workload.source_of(index)
+            source_id = int(self._owner[index])
             cache_bucket = self._cache_buckets[self._primary_cache[source_id]]
             if cache_bucket.credit < 1.0:
                 # This object's cache partition is out of budget; the

@@ -9,8 +9,10 @@ from repro.workloads.hotspot import hotspot_shards
 from repro.workloads.random_walk import (
     expected_walk_deviation,
     random_walk_values,
+    random_walk_values_batch,
 )
 from repro.workloads.synthetic import (
+    GENERATORS,
     Workload,
     skewed_validation,
     uniform_random_walk,
@@ -18,15 +20,19 @@ from repro.workloads.synthetic import (
 from repro.workloads.trace import TraceReplayer, UpdateTrace
 from repro.workloads.update_process import (
     bernoulli_tick_times,
+    bernoulli_tick_times_batch,
     merge_event_streams,
     poisson_times,
+    poisson_times_batch,
 )
 
 __all__ = [
+    "GENERATORS",
     "TraceReplayer",
     "UpdateTrace",
     "Workload",
     "bernoulli_tick_times",
+    "bernoulli_tick_times_batch",
     "buoy_workload",
     "expected_walk_deviation",
     "generate_buoy_trace",
@@ -34,7 +40,9 @@ __all__ = [
     "load_buoy_trace",
     "merge_event_streams",
     "poisson_times",
+    "poisson_times_batch",
     "random_walk_values",
+    "random_walk_values_batch",
     "skewed_validation",
     "uniform_random_walk",
 ]

@@ -21,15 +21,21 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.weights import StaticWeights
-from repro.workloads.synthetic import Workload, _trace_from_times
-from repro.workloads.update_process import poisson_times
+from repro.workloads.synthetic import (
+    Workload,
+    _check_generator,
+    _trace_from_event_stream,
+    _trace_from_times,
+)
+from repro.workloads.update_process import poisson_times, poisson_times_batch
 
 
 def hotspot_shards(num_sources: int, objects_per_source: int,
                    horizon: float, rng: np.random.Generator,
                    hot_fraction: float = 0.25,
                    hot_boost: float = 8.0,
-                   rate_range: tuple[float, float] = (0.0, 1.0)) -> Workload:
+                   rate_range: tuple[float, float] = (0.0, 1.0),
+                   generator: str = "vectorized") -> Workload:
     """Random-walk objects where the first ``hot_fraction`` of sources
     update ``hot_boost`` times faster than the rest.
 
@@ -37,6 +43,7 @@ def hotspot_shards(num_sources: int, objects_per_source: int,
     so divergence differences between policies come purely from how well
     refresh bandwidth tracks the update load.
     """
+    _check_generator(generator)
     if not 0.0 <= hot_fraction <= 1.0:
         raise ValueError(
             f"hot_fraction must be in [0, 1], got {hot_fraction}")
@@ -47,10 +54,14 @@ def hotspot_shards(num_sources: int, objects_per_source: int,
     num_hot = int(round(hot_fraction * num_sources))
     hot_objects = num_hot * objects_per_source
     rates[:hot_objects] *= hot_boost
-    times_per_object = [
-        poisson_times(rate, horizon, rng) for rate in rates
-    ]
-    trace = _trace_from_times(times_per_object, rng, n_total)
+    if generator == "vectorized":
+        times, owners = poisson_times_batch(rates, horizon, rng)
+        trace = _trace_from_event_stream(times, owners, rng, n_total)
+    else:
+        times_per_object = [
+            poisson_times(rate, horizon, rng) for rate in rates
+        ]
+        trace = _trace_from_times(times_per_object, rng, n_total)
     return Workload(num_sources=num_sources,
                     objects_per_source=objects_per_source,
                     rates=rates, trace=trace,

@@ -153,3 +153,62 @@ class TestFeedbackController:
         topo.on_network_tick(1.0)
         cache.on_tick(1.0)
         assert feedback.feedback_sent == 2  # only 2 credits available
+
+
+class TestFeedbackHeapChurn:
+    def make_controller(self, num_sources=6, cache_rate=2.0):
+        topology = StarTopology(
+            ConstantBandwidth(cache_rate),
+            [ConstantBandwidth(1.0)] * num_sources)
+        feedback = FeedbackController(topology, omega=10.0)
+        for j in range(num_sources):
+            topology.set_source_receiver(j, lambda m: None)
+        return topology, feedback
+
+    def test_heap_does_not_accumulate_stale_duplicates(self):
+        """Repeated surplus ticks must not grow the heap beyond one live
+        entry per source plus the fresh ``/ omega`` pushes -- the old
+        pop-and-repush selection left a stale duplicate per selected
+        source per tick."""
+        topology, feedback = self.make_controller()
+        for j in range(6):
+            feedback.observe_threshold(j, 100.0 + j)
+        baseline = len(feedback._heap)
+        for tick in range(1, 21):
+            topology.on_network_tick(float(tick))
+            feedback.on_tick(float(tick))
+        # Every tick selects 2 targets (budget 2 < 6 eligible): drained
+        # entries are superseded by their /omega re-push, not duplicated.
+        assert len(feedback._heap) <= baseline + 6
+
+    def test_drained_infinite_thresholds_are_restored(self):
+        """A bootstrapping source (threshold still inf) keeps receiving
+        feedback on later ticks: its drained entry is restored."""
+        topology, feedback = self.make_controller(num_sources=4,
+                                                  cache_rate=1.0)
+        sent_per_tick = []
+        for tick in range(1, 5):
+            topology.on_network_tick(float(tick))
+            before = feedback.feedback_sent
+            feedback.on_tick(float(tick))
+            sent_per_tick.append(feedback.feedback_sent - before)
+        assert sent_per_tick == [1, 1, 1, 1]
+
+    def test_undelivered_targets_keep_their_entries(self):
+        """Targets the link had no credit for stay selectable: their
+        drained entries go back untouched."""
+        topology, feedback = self.make_controller(num_sources=3,
+                                                  cache_rate=2.0)
+        for j, threshold in enumerate([30.0, 20.0, 10.0]):
+            feedback.observe_threshold(j, threshold)
+        topology.on_network_tick(1.0)
+        # Manually spend one of the two credits: only one feedback fits.
+        topology.cache_link.try_consume(1.0)
+        feedback.on_tick(1.0)
+        assert feedback.feedback_sent == 1
+        assert feedback.known_thresholds[0] == pytest.approx(3.0)
+        # Source 1 was selected but not delivered; next tick it leads.
+        topology.on_network_tick(2.0)
+        topology.cache_link.try_consume(1.0)
+        feedback.on_tick(2.0)
+        assert feedback.known_thresholds[1] == pytest.approx(2.0)

@@ -116,6 +116,34 @@ class TestScaleCommand:
         out = capsys.readouterr().out
         assert "tick" not in out.split("scheduler", 1)[1].split("\n")[2]
 
+    def test_scale_generator_flag(self, capsys):
+        assert main(["scale", "--sources", "15", "--warmup", "10",
+                     "--measure", "30", "--generator", "legacy"]) == 0
+        out = capsys.readouterr().out
+        assert "legacy generation" in out
+
+    def test_scale_rejects_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["scale", "--generator", "turbo"])
+
+
+class TestProfileCommand:
+    def test_profile_wraps_subcommand(self, capsys):
+        assert main(["profile", "--top", "5", "scale", "--sources", "15",
+                     "--warmup", "10", "--measure", "30"]) == 0
+        out = capsys.readouterr().out
+        assert "scale sweep" in out  # the wrapped command's output
+        assert "cProfile" in out
+        assert "cumulative" in out
+
+    def test_profile_requires_target(self):
+        with pytest.raises(SystemExit):
+            main(["profile"])
+
+    def test_profile_refuses_recursion(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "profile", "scale"])
+
 
 class TestCacheRatesFlag:
     def test_parses_comma_separated_rates(self):

@@ -139,6 +139,83 @@ class TestDivergenceCollector:
         with pytest.raises(ValueError):
             DivergenceCollector(3, StaticWeights.uniform(2))
 
+    def test_resample_weighs_pieces_at_their_start(self):
+        """A resample-split piece contributes w(piece start) * span, the
+        same rule ``record`` applies -- not w(piece end)."""
+        sine = SineWeights(base=np.array([2.0]), amplitude=np.array([0.5]),
+                           period=np.array([40.0]),
+                           phase=np.array([0.0]))
+        collector = DivergenceCollector(1, sine)
+        collector.record(0, 0.0, 1.0)
+        collector.resample(5.0)
+        collector.finalize(10.0)
+        expected = (sine.weight(0, 0.0) * 5.0 + sine.weight(0, 5.0) * 5.0)
+        assert collector.total_weighted_average() == pytest.approx(
+            expected / 10.0)
+
+    def test_resample_cadence_agnostic_under_static_weights(self):
+        """With static weights any resample cadence leaves the integral
+        bit-for-bit unchanged."""
+        weights = StaticWeights(np.array([1.5, 0.5]))
+        plain = DivergenceCollector(2, weights)
+        resampled = DivergenceCollector(2, weights)
+        for collector in (plain, resampled):
+            collector.record(0, 0.0, 2.0)
+            collector.record(1, 1.0, 3.0)
+        for t in (2.0, 4.0, 6.0, 8.0):
+            resampled.resample(t)
+        plain.finalize(10.0)
+        resampled.finalize(10.0)
+        assert (plain.total_weighted_average()
+                == resampled.total_weighted_average())
+
+
+class TestRecordMany:
+    def test_matches_sequential_records_bitwise(self):
+        """A batch equals the same records applied one at a time, under
+        fluctuating weights (each piece weighed at its own start)."""
+        rng = np.random.default_rng(0)
+        sine = SineWeights.random(6, rng)
+        sequential = DivergenceCollector(6, sine, warmup=1.0)
+        batched = DivergenceCollector(6, sine, warmup=1.0)
+        for collector in (sequential, batched):
+            for i in range(6):
+                collector.record(i, 0.5 + 0.3 * i, float(i))
+        indices = np.array([4, 0, 2])
+        values = np.array([0.25, 1.5, 0.0])
+        for i, v in zip(indices, values):
+            sequential.record(int(i), 5.0, float(v))
+        batched.record_many(indices, 5.0, values)
+        sequential.finalize(8.0)
+        batched.finalize(8.0)
+        assert (sequential.total_weighted_average()
+                == batched.total_weighted_average())
+        assert (sequential.total_unweighted_average()
+                == batched.total_unweighted_average())
+        np.testing.assert_array_equal(
+            sequential.per_object_weighted_average(),
+            batched.per_object_weighted_average())
+
+    def test_empty_batch_is_a_noop(self):
+        collector = DivergenceCollector(2, StaticWeights.uniform(2))
+        collector.record(0, 0.0, 1.0)
+        collector.record_many(np.empty(0, dtype=int), 5.0, np.empty(0))
+        collector.finalize(10.0)
+        assert collector.total_weighted_average() == pytest.approx(1.0)
+
+    def test_warmup_clamping_matches_record(self):
+        weights = StaticWeights.uniform(3)
+        sequential = DivergenceCollector(3, weights, warmup=4.0)
+        batched = DivergenceCollector(3, weights, warmup=4.0)
+        for collector in (sequential, batched):
+            collector.record(0, 1.0, 2.0)  # piece starts inside warm-up
+        sequential.record(0, 6.0, 0.0)
+        batched.record_many(np.array([0]), 6.0, np.array([0.0]))
+        sequential.finalize(10.0)
+        batched.finalize(10.0)
+        assert (sequential.total_weighted_average()
+                == batched.total_weighted_average())
+
 
 class TestReporting:
     def test_run_result_overhead_fraction(self):

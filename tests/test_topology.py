@@ -92,6 +92,63 @@ class TestDownstream:
         assert received == [request]
 
 
+class TestDownstreamBatch:
+    def test_batch_delivers_prefix_within_credit(self):
+        topo = make_topology(cache_rate=2.0, source_rates=(1.0,) * 4)
+        topo.on_network_tick(1.0)
+        received = []
+        for j in range(4):
+            topo.set_source_receiver(
+                j, lambda m, j=j: received.append((j, m.source_id)))
+        delivered = topo.send_downstream_batch(0, [0, 1, 2, 3], 1.0)
+        assert delivered == 2  # credit 2: first two targets only
+        assert received == [(0, 0), (1, 1)]
+
+    def test_batch_matches_sequential_sends(self):
+        """One batch equals the same targets sent one message at a time:
+        identical delivery count, remaining credit and counters."""
+        sequential = make_topology(cache_rate=3.0, source_rates=(1.0,) * 5)
+        batched = make_topology(cache_rate=3.0, source_rates=(1.0,) * 5)
+        sequential.on_network_tick(1.0)
+        batched.on_network_tick(1.0)
+        for j in range(5):
+            sequential.set_source_receiver(j, lambda m: None)
+            batched.set_source_receiver(j, lambda m: None)
+        sent = 0
+        for j in range(5):
+            if not sequential.send_downstream(
+                    FeedbackMessage(source_id=j, sent_at=1.0)):
+                break
+            sent += 1
+        delivered = batched.send_downstream_batch(0, list(range(5)), 1.0)
+        assert delivered == sent == 3
+        assert batched.cache_link.credit == sequential.cache_link.credit
+        assert batched.cache_link.total_sent == \
+            sequential.cache_link.total_sent
+        assert batched.cache_link.total_delivered == \
+            sequential.cache_link.total_delivered
+
+    def test_batch_reuses_one_scratch_message(self):
+        topo = make_topology(cache_rate=5.0, source_rates=(1.0,) * 3)
+        topo.on_network_tick(1.0)
+        seen = []
+        for j in range(3):
+            topo.set_source_receiver(j, seen.append)
+        topo.send_downstream_batch(0, [0, 1, 2], 1.0)
+        assert len(seen) == 3
+        assert len({id(m) for m in seen}) == 1  # same restamped instance
+        assert seen[0].source_id == 2  # stamped with the last target
+
+    def test_batch_skips_unwired_receivers_but_charges_credit(self):
+        topo = make_topology(cache_rate=5.0, source_rates=(1.0,) * 3)
+        topo.on_network_tick(1.0)
+        received = []
+        topo.set_source_receiver(2, received.append)
+        delivered = topo.send_downstream_batch(0, [0, 1, 2], 1.0)
+        assert delivered == 3  # all consumed credit, only one was wired
+        assert len(received) == 1
+
+
 class TestSharedCacheLink:
     def test_upstream_and_downstream_share_capacity(self):
         """The paper's buoy experiment constrains *total* messages on the
