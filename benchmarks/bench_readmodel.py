@@ -1,0 +1,63 @@
+"""Read-model sweep: quorum/any-replica reads under replication.
+
+Reproduces the ``repro readmodel`` experiment at CI scale: the cooperative
+policy on a 3-cache replicated topology with a Poisson client read stream,
+sweeping read policy x replication x aggregate bandwidth.  The structural
+asserts are hard everywhere (they are properties of the read model, not of
+the machine):
+
+* quorum-k read-observed divergence is monotone non-increasing in k within
+  every (bandwidth, replication) cell -- consulted replica sets are nested
+  in k on one permutation stream;
+* quorum-r and freshest-replica agree exactly (same floats, same counts);
+* the single-cache degenerate answers bit-for-bit what the star's
+  ``CacheStore.read`` returns.
+
+The wall-clock time is incidental (one pedantic round), but the printed
+table is the artifact: read-observed divergence per read policy, next to
+the paper's copy divergence for the same runs.
+"""
+
+from conftest import run_once
+
+from repro.experiments.readmodel import (
+    freshest_equals_full_quorum,
+    quorum_monotone,
+    render_readmodel,
+    run_readmodel,
+)
+
+
+def test_readmodel_quorum_sweep(benchmark):
+    """Replication x bandwidth sweep: monotone quorums, exact endpoints."""
+    points = run_once(benchmark, run_readmodel,
+                      num_caches=3, replications=(1, 2, 3),
+                      cache_bandwidths=(12.0, 24.0),
+                      warmup=100.0, measure=400.0)
+    print(render_readmodel(
+        points, "Read model sweep (3 caches, bandwidth x replication)"))
+    assert all(p.reads > 0 for p in points)
+    assert quorum_monotone(points), \
+        "quorum-k read divergence must be monotone non-increasing in k"
+    assert freshest_equals_full_quorum(points), \
+        "quorum-r must answer exactly as freshest-replica"
+    # Reads are measurement-only: within a cell every read policy saw the
+    # identical simulation (same copy divergence, same refresh count).
+    cells = {}
+    for p in points:
+        key = (p.cache_bandwidth, p.replication)
+        cells.setdefault(key, []).append(p)
+    for cell in cells.values():
+        assert len({(p.copy_divergence, p.refreshes)
+                    for p in cell}) == 1
+
+
+def test_readmodel_single_cache_is_star(benchmark):
+    """One cache: every read policy answers CacheStore.read exactly."""
+    points = run_once(benchmark, run_readmodel,
+                      num_caches=1, replications=(1,),
+                      warmup=100.0, measure=300.0)
+    assert points, "single-cache sweep produced no points"
+    assert all(p.matches_direct for p in points)
+    assert all(p.read_divergence == points[0].read_divergence
+               for p in points)

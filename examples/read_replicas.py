@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Read replicas: what clients actually see under cache replication.
+
+Runs the paper's cooperative protocol on a 3-cache replicated topology
+with a Poisson client read stream, then compares read policies: a random
+replica per read (cheap, stale), a 2-replica quorum, and always the
+freshest replica (read amplification x3).  The paper's copy divergence is
+printed next to each so you can see how much of the logical copy's
+freshness a cheap read path throws away.
+
+Run:  python examples/read_replicas.py
+"""
+
+import numpy as np
+
+from repro.core import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.experiments import RunSpec, run_policy_with_reads
+from repro.metrics import format_table
+from repro.network import ConstantBandwidth
+from repro.network.topology import TopologyConfig
+from repro.policies import CooperativePolicy
+from repro.sim.random import RngRegistry
+from repro.workloads import uniform_random_walk
+
+
+def main() -> None:
+    num_sources, objects_per_source = 12, 4
+    replication, num_caches = 3, 3
+    spec = RunSpec(warmup=100.0, measure=400.0,
+                   topology=TopologyConfig(kind="replicated",
+                                           num_caches=num_caches,
+                                           replication=replication))
+    workload = uniform_random_walk(
+        num_sources=num_sources, objects_per_source=objects_per_source,
+        horizon=spec.end_time, rng=np.random.default_rng(42))
+    # A dedicated rng stream for reads keeps the update trace untouched.
+    reads = workload.read_stream(RngRegistry(42).stream("read-workload"),
+                                 read_rate=0.5)
+
+    rows = []
+    for label, read_policy in [
+        ("any replica (1 consult/read)", "any"),
+        ("quorum-2    (2 consults/read)", "quorum-2"),
+        ("freshest    (3 consults/read)", "freshest"),
+    ]:
+        policy = CooperativePolicy(
+            cache_bandwidth=ConstantBandwidth(18.0),
+            source_bandwidths=[ConstantBandwidth(3.0)] * num_sources,
+            priority_fn=AreaPriority())
+        result, read_run = run_policy_with_reads(
+            workload, ValueDeviation(), policy, spec, reads,
+            read_policy=read_policy)
+        stale = read_run.collector.stale_read_fraction()
+        rows.append([label, result.read_divergence,
+                     f"{100 * stale:.1f}%", result.weighted_divergence,
+                     result.reads])
+
+    print(format_table(
+        ["read policy", "read-observed div", "stale reads",
+         "copy div", "reads"],
+        rows,
+        title=f"{num_sources * objects_per_source} objects replicated "
+              f"x{replication} over {num_caches} caches"))
+    print()
+    print("The copy divergence (the paper's metric) is identical across "
+          "rows -- reads never\nperturb the simulation.  What changes is "
+          "what clients observe: consulting more\nreplicas per read "
+          "monotonically buys back the freshness the slowest replica "
+          "link\nthrew away.")
+
+
+if __name__ == "__main__":
+    main()

@@ -99,7 +99,8 @@ class CacheNode:
         if self.collector is not None:
             self.collector.record(obj.index, now, obj.truth.divergence)
         if self.store is not None:
-            self.store.apply(obj.index, message.value, now)
+            self.store.apply(obj.index, message.value, now,
+                             update_count=message.update_count)
         if self.feedback is not None:
             self.feedback.observe_threshold(message.source_id,
                                             message.threshold)
@@ -128,7 +129,8 @@ class CacheNode:
             applied_indices.append(obj.index)
             applied_divergences.append(obj.truth.divergence)
             if self.store is not None:
-                self.store.apply(obj.index, value, now)
+                self.store.apply(obj.index, value, now,
+                                 update_count=update_count)
             self.refreshes_applied += 1
             for hook in self.refresh_hooks:
                 hook(obj, now)

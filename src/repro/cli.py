@@ -9,6 +9,7 @@ Usage (installed package)::
     python -m repro fig5 --fluctuating
     python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
     python -m repro multicache --num-caches 1 2 4 --topology sharded
+    python -m repro readmodel --replication 3 --read-rate 0.5
     python -m repro quickstart            # the README comparison
     python -m repro profile scale --sources 100000   # cProfile any command
 
@@ -31,6 +32,7 @@ from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.multicache import render_multicache, run_multicache
 from repro.experiments.params import best_cell, run_parameter_grid
+from repro.experiments.readmodel import render_readmodel, run_readmodel
 from repro.experiments.scale import render_scale, run_scale
 from repro.experiments.tables import (
     render_fig4,
@@ -138,6 +140,21 @@ def _cmd_multicache(args: argparse.Namespace) -> str:
     return render_multicache(
         points, f"Multi-cache sweep ({label}): cooperative vs "
                 "uniform allocation, hot-shard workload")
+
+
+def _cmd_readmodel(args: argparse.Namespace) -> str:
+    points = run_readmodel(num_caches=args.num_caches,
+                           replications=tuple(args.replication),
+                           cache_bandwidths=tuple(args.cache_bandwidths),
+                           read_rate=args.read_rate,
+                           num_sources=args.sources,
+                           objects_per_source=args.objects,
+                           source_bandwidth=args.source_bandwidth,
+                           warmup=args.warmup, measure=args.measure,
+                           seed=args.seed, generator=args.generator)
+    return render_readmodel(
+        points, f"Replicated read model ({args.num_caches} caches): "
+                "read-observed divergence by read policy")
 
 
 def _cmd_scale(args: argparse.Namespace) -> str:
@@ -282,6 +299,31 @@ def build_parser() -> argparse.ArgumentParser:
                         "that many caches and overrides --cache-bandwidth")
     _add_timing(p, warmup=100.0, measure=400.0)
     p.set_defaults(fn=_cmd_multicache)
+
+    p = sub.add_parser("readmodel",
+                       help="replicated read model: quorum/any-replica "
+                            "reads and read-observed divergence")
+    p.add_argument("--num-caches", type=int, default=3,
+                   help="cache nodes in the replicated layout "
+                        "(1 degenerates to the star)")
+    p.add_argument("--replication", type=int, nargs="+", default=[1, 2, 3],
+                   help="replication factors to sweep (clamped to "
+                        "--num-caches)")
+    p.add_argument("--cache-bandwidths", type=float, nargs="+",
+                   default=[18.0],
+                   help="aggregate cache-side msgs/s values to sweep, "
+                        "each split across the cache links")
+    p.add_argument("--read-rate", type=float, default=0.5,
+                   help="client reads/second per object (Poisson)")
+    p.add_argument("--sources", type=int, default=12)
+    p.add_argument("--objects", type=int, default=4,
+                   help="objects per source")
+    p.add_argument("--source-bandwidth", type=float, default=3.0)
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload + read-stream sampling implementation")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    p.set_defaults(fn=_cmd_readmodel)
 
     p = sub.add_parser("scale",
                        help="E9 scale sweep: event-driven wakeups vs "

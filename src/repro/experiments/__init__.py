@@ -22,6 +22,15 @@ from repro.experiments.params import (
     best_cell,
     run_parameter_grid,
 )
+from repro.experiments.readmodel import (
+    ReadModelPoint,
+    freshest_equals_full_quorum,
+    quorum_monotone,
+    read_policies_for,
+    render_readmodel,
+    run_policy_with_reads,
+    run_readmodel,
+)
 from repro.experiments.runner import RunSpec, run_policy
 from repro.experiments.scale import (
     ScalePoint,
@@ -44,10 +53,17 @@ __all__ = [
     "MultiCachePoint",
     "OverheadPoint",
     "ParameterCell",
+    "ReadModelPoint",
     "RunSpec",
     "ScalePoint",
     "ValidationRow",
     "best_cell",
+    "freshest_equals_full_quorum",
+    "quorum_monotone",
+    "read_policies_for",
+    "render_readmodel",
+    "run_policy_with_reads",
+    "run_readmodel",
     "run_fig4",
     "run_fig5",
     "run_fig6",

@@ -40,14 +40,24 @@ class RunSpec:
             raise ValueError(f"dt must be > 0, got {self.dt}")
 
 
-def run_policy(workload: Workload, metric: DivergenceMetric,
-               policy: SyncPolicy, spec: RunSpec) -> RunResult:
-    """Replay ``workload`` through ``policy`` and measure divergence."""
-    ctx = SimulationContext(workload, metric, warmup=spec.warmup,
-                            dt=spec.dt, seed=spec.seed,
-                            topology=spec.topology)
-    policy.attach(ctx)
-    ctx.run(spec.end_time, resample_interval=spec.resample_interval)
+def make_context(workload: Workload, metric: DivergenceMetric,
+                 spec: RunSpec) -> SimulationContext:
+    """The simulation context one spec'd run uses (shared by every
+    harness, so read-model runs cannot drift from plain ones)."""
+    return SimulationContext(workload, metric, warmup=spec.warmup,
+                             dt=spec.dt, seed=spec.seed,
+                             topology=spec.topology)
+
+
+def build_result(workload: Workload, metric: DivergenceMetric,
+                 policy: SyncPolicy, ctx: SimulationContext,
+                 extras: dict | None = None, **extra_fields) -> RunResult:
+    """Assemble the standard :class:`RunResult` from a finished run.
+
+    ``extras`` overrides ``policy.extras()`` (harnesses that merge their
+    own diagnostics in); ``extra_fields`` forwards additional RunResult
+    columns (e.g. the read-model harness's read statistics).
+    """
     collector = ctx.collector
     return RunResult(
         policy=policy.name,
@@ -61,5 +71,15 @@ def run_policy(workload: Workload, metric: DivergenceMetric,
         feedback_messages=policy.feedback_messages(),
         poll_messages=policy.poll_messages(),
         messages_total=policy.messages_total(),
-        extras=policy.extras(),
+        extras=policy.extras() if extras is None else extras,
+        **extra_fields,
     )
+
+
+def run_policy(workload: Workload, metric: DivergenceMetric,
+               policy: SyncPolicy, spec: RunSpec) -> RunResult:
+    """Replay ``workload`` through ``policy`` and measure divergence."""
+    ctx = make_context(workload, metric, spec)
+    policy.attach(ctx)
+    ctx.run(spec.end_time, resample_interval=spec.resample_interval)
+    return build_result(workload, metric, policy, ctx)

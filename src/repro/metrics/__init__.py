@@ -1,7 +1,15 @@
 """Measurement: divergence integration, counters, result reporting."""
 
-from repro.metrics.accumulators import Counter, TimeAverager
-from repro.metrics.collector import DivergenceCollector
+from repro.metrics.accumulators import (
+    Counter,
+    ReadSampleAccumulator,
+    TimeAverager,
+)
+from repro.metrics.collector import (
+    DivergenceCollector,
+    ReadCollector,
+    ReplicaDivergenceTracker,
+)
 from repro.metrics.report import (
     RunResult,
     ascii_plot,
@@ -12,6 +20,9 @@ from repro.metrics.report import (
 __all__ = [
     "Counter",
     "DivergenceCollector",
+    "ReadCollector",
+    "ReadSampleAccumulator",
+    "ReplicaDivergenceTracker",
     "RunResult",
     "TimeAverager",
     "ascii_plot",

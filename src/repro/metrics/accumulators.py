@@ -56,6 +56,49 @@ class TimeAverager:
         return self._integral / duration
 
 
+class ReadSampleAccumulator:
+    """Mean of weighted point samples with a warm-up cutoff.
+
+    The time-averaging classes above integrate piecewise-constant signals;
+    client reads instead *sample* a signal at discrete instants.  Each
+    sample contributes ``value`` and ``weight * value`` (the read-time
+    analogue of the paper's weighted divergence integrand); means divide by
+    the sample count, so under Poisson read times the weighted mean is an
+    unbiased estimate of the paper's ``(1/T) integral w(t) D(t) dt``.
+    Samples strictly before ``warmup`` are discarded, exactly like the
+    integrators' warm-up window.
+    """
+
+    __slots__ = ("warmup", "count", "_sum", "_weighted_sum")
+
+    def __init__(self, warmup: float = 0.0) -> None:
+        self.warmup = warmup
+        self.count = 0
+        self._sum = 0.0
+        self._weighted_sum = 0.0
+
+    def record(self, now: float, value: float,
+               weight: float = 1.0) -> None:
+        """One point sample of the signal at time ``now``."""
+        if now < self.warmup:
+            return
+        self.count += 1
+        self._sum += value
+        self._weighted_sum += weight * value
+
+    def mean(self) -> float:
+        """Unweighted mean over the recorded samples (0 when empty)."""
+        if self.count == 0:
+            return 0.0
+        return self._sum / self.count
+
+    def weighted_mean(self) -> float:
+        """Mean of ``weight * value`` over the recorded samples."""
+        if self.count == 0:
+            return 0.0
+        return self._weighted_sum / self.count
+
+
 class Counter:
     """A named monotonic event counter with optional rate reporting."""
 

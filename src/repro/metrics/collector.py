@@ -17,9 +17,12 @@ numbers are comparable across configuration sizes (Figures 4-6 all plot
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.core.weights import WeightModel
+from repro.metrics.accumulators import ReadSampleAccumulator
 
 
 class DivergenceCollector:
@@ -170,3 +173,181 @@ class DivergenceCollector:
         if self.duration <= 0:
             return np.zeros(self.num_objects)
         return self._weighted_integral / self.duration
+
+
+class ReadCollector:
+    """Read-observed divergence: what clients *see*, not what copies hold.
+
+    The paper's metric time-averages the divergence of the cache copy;
+    a client's experience is instead the divergence of the snapshots its
+    reads actually return.  This collector accumulates, at each read,
+    ``|answered value - true source value|`` -- weighted by the object's
+    refresh weight at read time, the point-sample analogue of the paper's
+    weighted divergence integrand -- plus per-replica serving counts so
+    experiments can see which replicas answered.
+
+    Reads during warm-up are discarded, mirroring the integral collectors.
+    """
+
+    def __init__(self, num_objects: int, weights: WeightModel,
+                 num_replicas: int = 1, warmup: float = 0.0) -> None:
+        if weights.n != num_objects:
+            raise ValueError(
+                f"weight model covers {weights.n} objects, "
+                f"expected {num_objects}")
+        self.num_objects = num_objects
+        self.weights = weights
+        self.warmup = warmup
+        self._acc = ReadSampleAccumulator(warmup)
+        self.replica_reads = np.zeros(num_replicas, dtype=np.int64)
+        self.stale_reads = 0  #: post-warm-up reads that observed divergence
+
+    def record_read(self, index: int, now: float, divergence: float,
+                    cache_id: int) -> None:
+        """One served read of object ``index`` at time ``now``."""
+        if now < self.warmup:
+            return
+        self._acc.record(now, divergence,
+                         self.weights.weight(index, now))
+        self.replica_reads[cache_id] += 1
+        if divergence != 0.0:
+            self.stale_reads += 1
+
+    @property
+    def reads(self) -> int:
+        """Post-warm-up reads served."""
+        return self._acc.count
+
+    def mean_read_divergence(self) -> float:
+        """Mean weighted read-observed divergence per read."""
+        return self._acc.weighted_mean()
+
+    def mean_unweighted_read_divergence(self) -> float:
+        """Mean |answered - true| per read, unweighted."""
+        return self._acc.mean()
+
+    def stale_read_fraction(self) -> float:
+        """Share of reads that returned a diverged value."""
+        if self._acc.count == 0:
+            return 0.0
+        return self.stale_reads / self._acc.count
+
+
+class ReplicaDivergenceTracker:
+    """Exact per-replica time-averaged divergence ``|replica copy - truth|``.
+
+    The :class:`DivergenceCollector` integrates the divergence of the
+    *logical* cached copy (the freshest applied snapshot, shared by all
+    replicas through the truth view).  Under replication each replica's own
+    store can lag behind that logical copy; this tracker integrates every
+    ``(replica, object)`` pair's divergence separately, which is what the
+    paper's metric *would* report if replica ``k`` were the cache.
+
+    The signal is piecewise-constant -- it changes only when the source
+    applies an update or replica ``k`` applies a refresh -- so hooking both
+    event kinds gives an exact integral, same as the main collector.  Cost
+    is O(replication) python work per update, so the tracker is opt-in
+    (experiments and tests; not wired into plain policy runs).
+
+    The uniform any-replica read policy samples precisely this signal at
+    read times: its read-observed divergence converges, as the read rate
+    grows, to the mean of these per-replica time averages.
+    """
+
+    def __init__(self, stores: Sequence, objects: Sequence,
+                 replicas_of: Sequence[tuple[int, ...]],
+                 warmup: float = 0.0, start: float = 0.0) -> None:
+        num_caches = len(stores)
+        num_objects = len(objects)
+        if len(replicas_of) != num_objects:
+            raise ValueError(
+                f"replica map covers {len(replicas_of)} objects, "
+                f"expected {num_objects}")
+        self.stores = list(stores)
+        self.objects = list(objects)
+        self.replicas_of = list(replicas_of)
+        self.warmup = warmup
+        self._member = np.zeros((num_caches, num_objects), dtype=bool)
+        for i, replicas in enumerate(self.replicas_of):
+            for k in replicas:
+                self._member[k, i] = True
+        self._divergence = np.zeros((num_caches, num_objects))
+        self._last_time = np.full((num_caches, num_objects), float(start))
+        self._integral = np.zeros((num_caches, num_objects))
+        self._end = float(start)
+
+    # ------------------------------------------------------------------
+    # Event hooks
+    # ------------------------------------------------------------------
+    def on_update(self, obj, now: float) -> None:
+        """Source-side update hook: every replica's divergence moves."""
+        for k in self.replicas_of[obj.index]:
+            self._touch(k, obj.index, now)
+
+    def refresh_hook(self, cache_id: int):
+        """A per-cache ``hook(obj, now)`` for ``CacheNode.add_refresh_hook``.
+
+        Fired after the store applied the snapshot, so re-reading the store
+        picks up the new value.
+        """
+        def hook(obj, now: float) -> None:
+            self._touch(cache_id, obj.index, now)
+        return hook
+
+    def _touch(self, k: int, i: int, now: float) -> None:
+        lo = max(self._last_time[k, i], self.warmup)
+        hi = max(now, self.warmup)
+        if hi > lo:
+            self._integral[k, i] += self._divergence[k, i] * (hi - lo)
+        self._last_time[k, i] = now
+        self._divergence[k, i] = abs(
+            float(self.stores[k].values[i]) - self.objects[i].value)
+        if now > self._end:
+            self._end = now
+
+    def finalize(self, end: float) -> None:
+        """Close every pair's current piece at the measurement end."""
+        lo = np.maximum(self._last_time, self.warmup)
+        span = np.maximum(max(end, self.warmup) - lo, 0.0)
+        self._integral += self._divergence * span
+        self._last_time[:] = np.maximum(self._last_time, end)
+        if end > self._end:
+            self._end = end
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def duration(self) -> float:
+        """Length of the measured (post-warm-up) window."""
+        return max(self._end - self.warmup, 0.0)
+
+    def per_replica_object_average(self) -> np.ndarray:
+        """Time-averaged divergence per ``(cache, object)`` pair.
+
+        Entries for caches that never hold an object are NaN, so averages
+        over replicas cannot silently dilute with non-members.
+        """
+        out = np.full(self._integral.shape, np.nan)
+        if self.duration > 0:
+            out[self._member] = (self._integral[self._member]
+                                 / self.duration)
+        return out
+
+    def per_replica_average(self) -> np.ndarray:
+        """Mean time-averaged divergence of each cache's own copies."""
+        per_pair = self.per_replica_object_average()
+        with np.errstate(invalid="ignore"):
+            return np.nanmean(per_pair, axis=1)
+
+    def mean_over_replicas(self) -> float:
+        """Objects' replica-averaged divergence, averaged over objects.
+
+        This is the large-read-rate limit of uniform any-replica
+        read-observed divergence when every object is read at the same
+        rate: reads sample objects uniformly and replicas uniformly.
+        """
+        per_pair = self.per_replica_object_average()
+        with np.errstate(invalid="ignore"):
+            per_object = np.nanmean(per_pair, axis=0)
+        return float(np.mean(per_object)) if per_object.size else 0.0

@@ -25,6 +25,9 @@ class RunResult:
     feedback_messages: int = 0
     poll_messages: int = 0  #: poll round-trip messages (CGM baselines)
     messages_total: int = 0  #: all messages that crossed the cache link
+    reads: int = 0  #: client reads served (0 when no read stream ran)
+    read_divergence: float = 0.0  #: mean weighted read-observed divergence
+    read_divergence_unweighted: float = 0.0  #: mean |answered - true|/read
     extras: dict = field(default_factory=dict)
 
     @property

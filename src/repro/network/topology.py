@@ -160,6 +160,19 @@ class Topology(ABC):
         return tuple(j for j in self.sources_of(cache_id)
                      if self.primary_cache_of(j) == cache_id)
 
+    def object_replicas(self, owner: Sequence[int]
+                        ) -> list[tuple[int, ...]]:
+        """Replica cache ids per object, given each object's owning source.
+
+        ``owner`` maps global object index to source id (the workload's
+        precomputed :attr:`~repro.workloads.synthetic.Workload.owner`
+        array).  An object lives wherever its source's upstream messages
+        land, so its replica set is its owner's cache assignment.  The read
+        model resolves this once per run.
+        """
+        per_source = [self.caches_of(j) for j in range(self.num_sources)]
+        return [per_source[int(j)] for j in owner]
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------

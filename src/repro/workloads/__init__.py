@@ -6,6 +6,12 @@ from repro.workloads.buoy import (
     load_buoy_trace,
 )
 from repro.workloads.hotspot import hotspot_shards
+from repro.workloads.read_process import (
+    ReadReplayer,
+    ReadTrace,
+    merge_reads_with_updates,
+    uniform_reads,
+)
 from repro.workloads.random_walk import (
     expected_walk_deviation,
     random_walk_values,
@@ -28,6 +34,8 @@ from repro.workloads.update_process import (
 
 __all__ = [
     "GENERATORS",
+    "ReadReplayer",
+    "ReadTrace",
     "TraceReplayer",
     "UpdateTrace",
     "Workload",
@@ -39,6 +47,8 @@ __all__ = [
     "hotspot_shards",
     "load_buoy_trace",
     "merge_event_streams",
+    "merge_reads_with_updates",
+    "uniform_reads",
     "poisson_times",
     "poisson_times_batch",
     "random_walk_values",

@@ -26,6 +26,7 @@ from repro.workloads.random_walk import (
     random_walk_values,
     random_walk_values_batch,
 )
+from repro.workloads.read_process import ReadTrace, uniform_reads
 from repro.workloads.trace import UpdateTrace
 from repro.workloads.update_process import (
     bernoulli_tick_times,
@@ -83,6 +84,19 @@ class Workload:
     def source_of(self, index: int) -> int:
         """Owning source of a global object index (row-major layout)."""
         return int(self.owner[index])
+
+    def read_stream(self, rng: np.random.Generator,
+                    read_rate: float | np.ndarray = 1.0,
+                    generator: str = "vectorized") -> ReadTrace:
+        """A client read stream matched to this workload's shape.
+
+        Poisson reads per object over the workload's own horizon; pass a
+        dedicated rng stream (e.g. ``RngRegistry.stream("reads")``) so the
+        read draw count never perturbs the seeded update trace.
+        """
+        _check_generator(generator)
+        return uniform_reads(self.num_objects, self.horizon, rng,
+                             read_rate=read_rate, generator=generator)
 
 
 def _trace_from_times(times_per_object: list[np.ndarray],

@@ -127,6 +127,38 @@ class TestScaleCommand:
             build_parser().parse_args(["scale", "--generator", "turbo"])
 
 
+class TestReadModelCommand:
+    def test_readmodel_defaults(self):
+        args = build_parser().parse_args(["readmodel"])
+        assert args.num_caches == 3
+        assert args.replication == [1, 2, 3]
+        assert args.read_rate == 0.5
+        assert args.cache_bandwidths == [18.0]
+
+    def test_readmodel_tiny_run(self, capsys):
+        assert main(["readmodel", "--replication", "2",
+                     "--sources", "4", "--objects", "3",
+                     "--num-caches", "2",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "Replicated read model" in out
+        assert "monotone non-increasing in k: yes" in out
+        assert "matches freshest-replica exactly: yes" in out
+
+    def test_readmodel_single_cache_matches_star(self, capsys):
+        assert main(["readmodel", "--num-caches", "1",
+                     "--replication", "1",
+                     "--sources", "4", "--objects", "3",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        out = capsys.readouterr().out
+        assert ("single-cache reads match star CacheStore.read "
+                "bit-for-bit: yes") in out
+
+    def test_readmodel_rejects_unknown_generator(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["readmodel", "--generator", "x"])
+
+
 class TestProfileCommand:
     def test_profile_wraps_subcommand(self, capsys):
         assert main(["profile", "--top", "5", "scale", "--sources", "15",

@@ -13,7 +13,12 @@ tests pin that across:
   and collector resampling, constant and fluctuating bandwidth);
 * the Figure 5 settings (buoy workload, 60 s ticks, fluctuating link);
 * one cache (the paper's star) and four caches (sharded and replicated);
-* the sampling monitor (plain and predictive) and batching sources.
+* the sampling monitor (plain and predictive) and batching sources;
+* replicated topologies carrying a client *read stream*: every read-model
+  metric (reads served, read-observed divergence, per-replica serving
+  counts, per-replica time-averaged divergence) must be bit-for-bit
+  identical across schedulers, so the read model cannot silently depend
+  on the wakeup layer.
 """
 
 import numpy as np
@@ -22,6 +27,7 @@ import pytest
 from repro.core.divergence import ValueDeviation
 from repro.core.priority import AreaPriority
 from repro.core.weights import StaticWeights
+from repro.experiments.readmodel import run_policy_with_reads
 from repro.experiments.runner import RunSpec, run_policy
 from repro.network.bandwidth import ConstantBandwidth, SineBandwidth
 from repro.network.topology import TopologyConfig
@@ -30,6 +36,7 @@ from repro.policies.competitive import CompetitivePolicy
 from repro.policies.cooperative import CooperativePolicy
 from repro.policies.ideal import IdealCooperativePolicy
 from repro.policies.uniform import UniformAllocationPolicy
+from repro.sim.random import RngRegistry
 from repro.workloads.buoy import buoy_workload
 from repro.workloads.synthetic import uniform_random_walk
 
@@ -261,6 +268,102 @@ class TestIdealEquivalence:
                 cache_profile(), AreaPriority(),
                 source_bandwidths=source_profiles(), scheduling=mode),
             workload, spec)
+
+
+class TestReadModelEquivalence:
+    """Replicated topologies with client read streams, tick vs event.
+
+    The read path observes per-replica store state at read times, so any
+    scheduler-dependent difference in *when* a replica applies a snapshot
+    would surface here even if the aggregate divergence metrics happened
+    to agree.  Pinned for replication 2 and 3 across the read-policy axis.
+    """
+
+    @pytest.mark.parametrize("replication", [2, 3])
+    @pytest.mark.parametrize("read_policy",
+                             ["any", "quorum-2", "freshest"])
+    def test_cooperative_with_read_stream(self, replication, read_policy):
+        workload = fig4_workload()
+        reads = workload.read_stream(
+            RngRegistry(0).stream("read-workload"), read_rate=0.5)
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="replicated",
+                                               num_caches=4,
+                                               replication=replication))
+        results = {}
+        for scheduling in ("tick", "event"):
+            policy = CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), scheduling=scheduling)
+            result, read_run = run_policy_with_reads(
+                workload, ValueDeviation(), policy, spec, reads,
+                read_policy=read_policy, track_replicas=True)
+            results[scheduling] = (
+                result.weighted_divergence,
+                result.unweighted_divergence,
+                result.refreshes,
+                result.feedback_messages,
+                result.messages_total,
+                result.reads,
+                result.read_divergence,
+                result.read_divergence_unweighted,
+                tuple(read_run.collector.replica_reads.tolist()),
+                read_run.collector.stale_reads,
+                tuple(read_run.tracker.per_replica_average().tolist()),
+            )
+        assert results["tick"] == results["event"], (
+            f"read-model metrics diverged across schedulers:\n"
+            f"  tick:  {results['tick']}\n  event: {results['event']}")
+
+    @pytest.mark.parametrize("replication", [2, 3])
+    def test_uniform_with_read_stream(self, replication):
+        """The store-backed uniform baseline carries the read path too."""
+        workload = fig4_workload()
+        reads = workload.read_stream(
+            RngRegistry(0).stream("read-workload"), read_rate=0.5)
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="replicated",
+                                               num_caches=4,
+                                               replication=replication))
+        results = {}
+        for scheduling in ("tick", "event"):
+            policy = UniformAllocationPolicy(
+                cache_profile(), source_profiles(), scheduling=scheduling)
+            result, read_run = run_policy_with_reads(
+                workload, ValueDeviation(), policy, spec, reads,
+                read_policy=f"quorum-{replication}")
+            results[scheduling] = (
+                result.weighted_divergence,
+                result.refreshes,
+                result.reads,
+                result.read_divergence,
+                tuple(read_run.collector.replica_reads.tolist()),
+            )
+        assert results["tick"] == results["event"]
+
+    def test_reads_never_perturb_the_simulation(self):
+        """A read stream is measurement-only: attaching one changes no
+        simulated outcome relative to a plain run."""
+        workload = fig4_workload()
+        reads = workload.read_stream(
+            RngRegistry(0).stream("read-workload"), read_rate=0.5)
+        spec = RunSpec(**SPEC,
+                       topology=TopologyConfig(kind="replicated",
+                                               num_caches=4,
+                                               replication=2))
+
+        def make():
+            return CooperativePolicy(cache_profile(), source_profiles(),
+                                     priority_fn=AreaPriority())
+
+        plain = run_policy(workload, ValueDeviation(), make(), spec)
+        with_reads, _ = run_policy_with_reads(
+            workload, ValueDeviation(), make(), spec, reads,
+            read_policy="freshest")
+        assert plain.weighted_divergence == with_reads.weighted_divergence
+        assert plain.refreshes == with_reads.refreshes
+        assert plain.feedback_messages == with_reads.feedback_messages
+        assert plain.messages_total == with_reads.messages_total
 
 
 class TestNonDyadicRates:
