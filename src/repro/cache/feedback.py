@@ -105,7 +105,7 @@ class FeedbackController:
         one counter update, one reused message object -- instead of a
         per-target :class:`FeedbackMessage` allocation and ``send``.
         """
-        surplus = self.topology.cache_surplus(self.cache_id)
+        surplus = self.topology.cache_surplus(self.cache_id, now)
         budget = int(surplus)
         if budget <= 0:
             return

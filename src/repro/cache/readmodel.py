@@ -115,6 +115,13 @@ class ReadModel:
         #: replica cache ids per object, resolved once from the topology
         self.replicas: list[tuple[int, ...]] = \
             topology.object_replicas(owner)
+        # Single-replica layouts (one cache, or sharded with no fan-out)
+        # never draw from the rng and always answer from the object's home
+        # cache, so batched reads can skip the per-read dispatch entirely.
+        self._single_replica = all(
+            len(replicas) == 1 for replicas in self.replicas)
+        self._home = np.array([replicas[0] for replicas in self.replicas],
+                              dtype=np.int64)
 
     def replicas_of(self, index: int) -> tuple[int, ...]:
         """Cache ids holding a copy of object ``index``."""
@@ -132,6 +139,48 @@ class ReadModel:
         if kind == "freshest":
             return self.freshest_replica(index)
         return self.quorum(index, quorum_size or k)
+
+    def read_batch(self, indices: np.ndarray, policy: str = "any",
+                   quorum_size: int = 0
+                   ) -> tuple[np.ndarray, np.ndarray]:
+        """Serve many reads under one policy; returns answered
+        ``(values, cache_ids)`` arrays aligned with ``indices``.
+
+        Bit-for-bit the same answers (and the same rng consumption) as a
+        loop over :meth:`read`: quorum subset draws are inherently
+        sequential, so replicated layouts loop read-by-read, while
+        single-replica layouts (one cache, or sharded without fan-out)
+        vectorize to plain store lookups -- there is exactly one candidate
+        and no draw.  The batched read replay path feeds these arrays
+        straight into :meth:`ReadCollector.record_many
+        <repro.metrics.collector.ReadCollector.record_many>`.
+        """
+        kind, k = parse_read_policy(policy)
+        if kind == "quorum":
+            k = quorum_size or k
+        indices = np.asarray(indices, dtype=np.int64)
+        n = len(indices)
+        values = np.empty(n)
+        cache_ids = np.empty(n, dtype=np.int64)
+        if self._single_replica and (kind != "quorum" or k == 1):
+            homes = self._home[indices]
+            for cache_id in np.unique(homes).tolist():
+                mask = homes == cache_id
+                values[mask] = self.stores[cache_id].values[indices[mask]]
+            cache_ids[:] = homes
+            return values, cache_ids
+        if kind == "any":
+            read = self.any_replica
+        elif kind == "freshest":
+            read = self.freshest_replica
+        else:
+            def read(index: int) -> ReadSample:
+                return self.quorum(index, k)
+        for pos, index in enumerate(indices.tolist()):
+            sample = read(index)
+            values[pos] = sample.value
+            cache_ids[pos] = sample.cache_id
+        return values, cache_ids
 
     def any_replica(self, index: int) -> ReadSample:
         """Answer from one uniformly random replica (= quorum(1))."""

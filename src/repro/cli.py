@@ -151,7 +151,8 @@ def _cmd_readmodel(args: argparse.Namespace) -> str:
                            objects_per_source=args.objects,
                            source_bandwidth=args.source_bandwidth,
                            warmup=args.warmup, measure=args.measure,
-                           seed=args.seed, generator=args.generator)
+                           seed=args.seed, generator=args.generator,
+                           replay=args.replay)
     return render_readmodel(
         points, f"Replicated read model ({args.num_caches} caches): "
                 "read-observed divergence by read policy")
@@ -165,7 +166,10 @@ def _cmd_scale(args: argparse.Namespace) -> str:
                        warmup=args.warmup, measure=args.measure,
                        seed=args.seed,
                        max_tick_sources=args.max_tick_sources,
-                       generator=args.generator)
+                       generator=args.generator,
+                       replays=(("event", "batched")
+                                if args.replay == "both"
+                                else (args.replay,)))
     return render_scale(
         points, "E9 scale sweep: event-driven wakeups vs per-tick scans "
                 f"(sparse updates, lambda = {args.update_rate}/s, "
@@ -322,6 +326,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--generator", choices=["vectorized", "legacy"],
                    default="vectorized",
                    help="workload + read-stream sampling implementation")
+    p.add_argument("--replay", choices=["batched", "event"],
+                   default="batched",
+                   help="trace/read replay mode (batched = apply all "
+                        "events between simulator wakeups in one call)")
     _add_timing(p, warmup=100.0, measure=400.0)
     p.set_defaults(fn=_cmd_readmodel)
 
@@ -343,6 +351,10 @@ def build_parser() -> argparse.ArgumentParser:
                    default="vectorized",
                    help="workload sampling implementation (legacy = the "
                         "per-object loops, for generation-cost baselines)")
+    p.add_argument("--replay", choices=["batched", "event", "both"],
+                   default="batched",
+                   help="trace replay mode; 'both' times the per-event "
+                        "loop against the batched fast path")
     _add_timing(p, warmup=100.0, measure=500.0)
     p.set_defaults(fn=_cmd_scale)
 

@@ -86,9 +86,15 @@ class ValueDeviation(DivergenceMetric):
 
     def __init__(self, delta: DeltaFunction = absolute_difference) -> None:
         self.delta = delta
+        # abs() is nonnegative by construction; skipping the sign check
+        # (and the extra call frame) for the default delta matters in the
+        # per-update hot path.
+        self._default_delta = delta is absolute_difference
 
     def compute(self, source_value: float, cached_value: float,
                 lag_count: int) -> float:
+        if self._default_delta:
+            return abs(source_value - cached_value)
         value = self.delta(source_value, cached_value)
         if value < 0:
             raise ValueError(

@@ -126,13 +126,18 @@ class DataObject:
                      metric: DivergenceMetric) -> None:
         """Apply a source-side update and refresh both views' divergence."""
         self.value = new_value
-        self.update_count += 1
+        count = self.update_count + 1
+        self.update_count = count
         self.last_update_time = now
-        for view in (self.belief, self.truth):
-            divergence = metric.compute(
-                new_value, view.reference_value,
-                self.update_count - view.reference_count)
-            view.set_divergence(now, divergence)
+        # Unrolled over the two views: this runs once per trace event.
+        view = self.belief
+        view.set_divergence(now, metric.compute(
+            new_value, view.reference_value,
+            count - view.reference_count))
+        view = self.truth
+        view.set_divergence(now, metric.compute(
+            new_value, view.reference_value,
+            count - view.reference_count))
 
     def mark_sent(self, now: float) -> None:
         """The source sent a refresh: reset the belief view."""

@@ -18,6 +18,8 @@ import heapq
 class PriorityTracker:
     """Tracks ``index -> priority`` with O(log n) max extraction."""
 
+    __slots__ = ("_heap", "_priority", "_version")
+
     def __init__(self) -> None:
         self._heap: list[tuple[float, int, int]] = []  # (-priority, ver, idx)
         self._priority: dict[int, float] = {}

@@ -65,13 +65,17 @@ class StaticWeights(WeightModel):
             raise ValueError("weights must be nonnegative")
         super().__init__(len(values))
         self.values = values
+        # Python-float mirror for the scalar getter: one list index beats
+        # a numpy scalar extraction in per-event hot paths (same bits --
+        # tolist() converts float64 exactly).
+        self._scalars = values.tolist()
 
     @classmethod
     def uniform(cls, n: int, value: float = 1.0) -> "StaticWeights":
         return cls(np.full(n, float(value)))
 
     def weight(self, index: int, t: float) -> float:
-        return float(self.values[index])
+        return self._scalars[index]
 
     def weights(self, t: float) -> np.ndarray:
         return self.values

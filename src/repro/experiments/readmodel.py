@@ -45,6 +45,7 @@ from repro.network.bandwidth import ConstantBandwidth
 from repro.network.topology import TopologyConfig
 from repro.policies.base import SimulationContext, SyncPolicy
 from repro.policies.cooperative import CooperativePolicy
+from repro.sim.engine import gc_paused
 from repro.sim.random import RngRegistry
 from repro.workloads.read_process import ReadReplayer, ReadTrace
 from repro.workloads.synthetic import Workload, uniform_random_walk
@@ -91,7 +92,10 @@ class ReadRun:
             else None
         self.baseline_mismatches = 0
         self._objects = ctx.objects
-        self.replayer = ReadReplayer(ctx.sim, read_trace, self._on_read)
+        self._sim = ctx.sim
+        self.replayer = ReadReplayer(ctx.sim, read_trace, self._on_read,
+                                     on_read_batch=self._on_read_batch,
+                                     mode=ctx.replay)
 
     def _on_read(self, now: float, index: int) -> None:
         if self._kind == "any":
@@ -106,6 +110,31 @@ class ReadRun:
         if self._baseline_store is not None and \
                 sample.value != float(self._baseline_store.values[index]):
             self.baseline_mismatches += 1
+
+    def _on_read_batch(self, times: np.ndarray,
+                       indices: np.ndarray) -> None:
+        """Serve a run of consecutive reads between simulator wakeups.
+
+        Answers come from :meth:`ReadModel.read_batch` (same values, same
+        rng consumption as the per-read loop) and land in one
+        :meth:`ReadCollector.record_many` call.  The true source values
+        are gathered per read -- they change between batches -- but
+        ``abs`` and the baseline cross-check vectorize.
+        """
+        values, cache_ids = self.model.read_batch(
+            indices, policy=self.read_policy)
+        objects = self._objects
+        truth = np.array([objects[index].value
+                          for index in indices.tolist()])
+        divergences = np.abs(values - truth)
+        self.collector.record_many(indices, times, divergences, cache_ids)
+        if self._baseline_store is not None:
+            baseline = self._baseline_store.values[indices]
+            self.baseline_mismatches += int(
+                np.count_nonzero(values != baseline))
+        # Keep the clock where per-event replay would have left it (reads
+        # never touch simulator state, so only the final position matters).
+        self._sim.advance_clock(float(times[-1]))
 
     @property
     def matches_direct(self) -> bool | None:
@@ -129,12 +158,14 @@ def run_policy_with_reads(workload: Workload, metric: DivergenceMetric,
     """:func:`~repro.experiments.runner.run_policy` plus a client read
     stream; returns the result (read columns populated) and the read run.
     """
-    ctx = make_context(workload, metric, spec)
-    policy.attach(ctx)
-    read_run = ReadRun(ctx, policy, read_trace, read_policy=read_policy,
-                       track_replicas=track_replicas)
-    ctx.run(spec.end_time, resample_interval=spec.resample_interval)
-    read_run.finalize(spec.end_time)
+    with gc_paused():
+        ctx = make_context(workload, metric, spec)
+        policy.attach(ctx)
+        read_run = ReadRun(ctx, policy, read_trace,
+                           read_policy=read_policy,
+                           track_replicas=track_replicas)
+        ctx.run(spec.end_time, resample_interval=spec.resample_interval)
+        read_run.finalize(spec.end_time)
     reads = read_run.collector
     extras = dict(policy.extras())
     extras["replica_reads"] = reads.replica_reads.tolist()
@@ -202,7 +233,8 @@ def run_readmodel(num_caches: int = 3,
                   warmup: float = 100.0,
                   measure: float = 400.0,
                   seed: int = 0,
-                  generator: str = "vectorized"
+                  generator: str = "vectorized",
+                  replay: str = "batched"
                   ) -> list[ReadModelPoint]:
     """Sweep read policy x replication x aggregate cache bandwidth.
 
@@ -238,7 +270,7 @@ def run_readmodel(num_caches: int = 3,
                                         num_caches=num_caches,
                                         replication=r)
             spec = RunSpec(warmup=warmup, measure=measure, seed=seed,
-                           topology=config)
+                           topology=config, replay=replay)
             for read_policy in read_policies_for(r):
                 policy = CooperativePolicy(
                     ConstantBandwidth(bandwidth),

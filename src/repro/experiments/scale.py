@@ -25,6 +25,7 @@ the tick scan is impractical, so its baseline is skipped by default
 
 from __future__ import annotations
 
+import gc
 import time
 from dataclasses import dataclass
 
@@ -41,7 +42,7 @@ from repro.workloads.synthetic import Workload, uniform_random_walk
 
 @dataclass
 class ScalePoint:
-    """One (num_sources, scheduler) measurement."""
+    """One (num_sources, scheduler, replay mode) measurement."""
 
     num_sources: int
     scheduling: str
@@ -51,6 +52,7 @@ class ScalePoint:
     feedback_messages: int
     gen_seconds: float = 0.0  #: wall clock of workload generation
     generator: str = "vectorized"  #: sampling implementation used
+    replay: str = "batched"  #: trace replay mode used
 
 
 def sparse_workload(num_sources: int, horizon: float,
@@ -77,19 +79,23 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
               measure: float = 500.0,
               seed: int = 0,
               max_tick_sources: int = 2000,
-              generator: str = "vectorized") -> list[ScalePoint]:
+              generator: str = "vectorized",
+              replays: tuple[str, ...] = ("batched",)) -> list[ScalePoint]:
     """Sweep source counts, timing both schedulers on identical workloads.
 
     Above ``max_tick_sources`` only the event scheduler runs (the tick
     scan at m = 10^4 costs minutes of CI time for a result already pinned
-    identical at smaller m).  Workload generation is timed separately
-    (``gen_seconds``): at m = 10^5 the vectorized pipeline is the
-    difference between seconds and minutes of setup, and the benchmark
-    suite tracks both times across PRs in ``BENCH_scale.json``.
+    identical at smaller m).  ``replays`` adds the trace-replay axis:
+    ``("event", "batched")`` times the per-event replay loop against the
+    batched fast path on the same workload (results must agree bit for
+    bit; :func:`check_equivalence` covers the whole cross product).
+    Workload generation is timed separately (``gen_seconds``): at
+    m = 10^5 the vectorized pipeline is the difference between seconds
+    and minutes of setup, and the benchmark suite tracks both times
+    across PRs in ``BENCH_scale.json``.
     """
     points: list[ScalePoint] = []
     metric = ValueDeviation()
-    spec = RunSpec(warmup=warmup, measure=measure, seed=seed)
     for m in sources:
         rng = np.random.default_rng(seed)
         gen_start = time.perf_counter()
@@ -100,23 +106,35 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
         schedulings = ("tick", "event") if m <= max_tick_sources \
             else ("event",)
         for scheduling in schedulings:
-            policy = CooperativePolicy(
-                ConstantBandwidth(cache_bandwidth),
-                [ConstantBandwidth(source_bandwidth) for _ in range(m)],
-                priority_fn=AreaPriority(),
-                scheduling=scheduling)
-            start = time.perf_counter()
-            result = run_policy(workload, metric, policy, spec)
-            wall = time.perf_counter() - start
-            points.append(ScalePoint(
-                num_sources=m,
-                scheduling=scheduling,
-                wall_seconds=wall,
-                weighted_divergence=result.weighted_divergence,
-                refreshes=result.refreshes,
-                feedback_messages=result.feedback_messages,
-                gen_seconds=gen_seconds,
-                generator=generator))
+            for replay in replays:
+                spec = RunSpec(warmup=warmup, measure=measure, seed=seed,
+                               replay=replay)
+                policy = CooperativePolicy(
+                    ConstantBandwidth(cache_bandwidth),
+                    [ConstantBandwidth(source_bandwidth)
+                     for _ in range(m)],
+                    priority_fn=AreaPriority(),
+                    scheduling=scheduling)
+                start = time.perf_counter()
+                result = run_policy(workload, metric, policy, spec)
+                wall = time.perf_counter() - start
+                points.append(ScalePoint(
+                    num_sources=m,
+                    scheduling=scheduling,
+                    wall_seconds=wall,
+                    weighted_divergence=result.weighted_divergence,
+                    refreshes=result.refreshes,
+                    feedback_messages=result.feedback_messages,
+                    gen_seconds=gen_seconds,
+                    generator=generator,
+                    replay=replay))
+                # The policy's node graph is cyclic (closures back-ref
+                # the policy) and big at m ~ 10^5; drop it and collect
+                # *outside* the timed window so neither its memory
+                # pressure nor its collection lands in the next point's
+                # wall clock.
+                del policy, result
+                gc.collect()
     return points
 
 
@@ -147,9 +165,16 @@ def generation_speedup(num_sources: int, horizon: float,
 
 
 def speedups(points: list[ScalePoint]) -> dict[int, float]:
-    """tick wall-clock divided by event wall-clock, per source count."""
+    """tick wall-clock divided by event wall-clock, per source count.
+
+    Compared within one replay mode (batched when present), so the
+    scheduler ratio is never polluted by the replay axis.
+    """
+    modes = {p.replay for p in points}
+    mode = "batched" if "batched" in modes else next(iter(modes), None)
     walls: dict[tuple[int, str], float] = {
-        (p.num_sources, p.scheduling): p.wall_seconds for p in points
+        (p.num_sources, p.scheduling): p.wall_seconds
+        for p in points if p.replay == mode
     }
     out: dict[int, float] = {}
     for (m, scheduling), wall in walls.items():
@@ -161,36 +186,60 @@ def speedups(points: list[ScalePoint]) -> dict[int, float]:
     return out
 
 
+def replay_speedups(points: list[ScalePoint]) -> dict[int, float]:
+    """event-replay wall divided by batched-replay wall, per source count
+    (within the event scheduler, the mode both replays run under)."""
+    walls: dict[tuple[int, str], float] = {
+        (p.num_sources, p.replay): p.wall_seconds
+        for p in points if p.scheduling == "event"
+    }
+    out: dict[int, float] = {}
+    for (m, replay), wall in walls.items():
+        if replay != "event":
+            continue
+        batched = walls.get((m, "batched"))
+        if batched and batched > 0:
+            out[m] = wall / batched
+    return out
+
+
 def check_equivalence(points: list[ScalePoint]) -> bool:
-    """True when tick and event runs agree bit-for-bit at every m."""
-    by_m: dict[int, dict[str, ScalePoint]] = {}
+    """True when every (scheduler, replay) run agrees bit-for-bit at
+    every source count."""
+    by_m: dict[int, list[ScalePoint]] = {}
     for p in points:
-        by_m.setdefault(p.num_sources, {})[p.scheduling] = p
-    for pair in by_m.values():
-        if "tick" in pair and "event" in pair:
-            tick, event = pair["tick"], pair["event"]
-            if (tick.weighted_divergence != event.weighted_divergence
-                    or tick.refreshes != event.refreshes
-                    or tick.feedback_messages != event.feedback_messages):
+        by_m.setdefault(p.num_sources, []).append(p)
+    for group in by_m.values():
+        first = group[0]
+        for p in group[1:]:
+            if (p.weighted_divergence != first.weighted_divergence
+                    or p.refreshes != first.refreshes
+                    or p.feedback_messages != first.feedback_messages):
                 return False
     return True
 
 
 def render_scale(points: list[ScalePoint], title: str) -> str:
-    """The sweep as a table, one row per (m, scheduler)."""
+    """The sweep as a table, one row per (m, scheduler, replay)."""
     ratio = speedups(points)
+    modes = {p.replay for p in points}
+    ratio_mode = "batched" if "batched" in modes else next(iter(modes),
+                                                           None)
     rows = []
     for p in points:
+        # The scheduler speedup is computed within one replay mode; only
+        # that mode's event rows can own the number.
         speedup = ratio.get(p.num_sources, float("nan")) \
-            if p.scheduling == "event" else float("nan")
-        rows.append([p.num_sources, p.scheduling,
+            if p.scheduling == "event" and p.replay == ratio_mode \
+            else float("nan")
+        rows.append([p.num_sources, p.scheduling, p.replay,
                      round(p.gen_seconds, 4),
                      round(p.wall_seconds, 4), p.weighted_divergence,
                      p.refreshes, p.feedback_messages,
                      "-" if speedup != speedup else round(speedup, 2)])
     table = format_table(
-        ["sources", "scheduler", "gen s", "wall s", "divergence",
-         "refreshes", "feedback", "speedup"],
+        ["sources", "scheduler", "replay", "gen s", "wall s",
+         "divergence", "refreshes", "feedback", "speedup"],
         rows, title=title)
     verdict = ("schedulers agree bit-for-bit"
                if check_equivalence(points)

@@ -8,6 +8,8 @@ initial warm-up period".
 
 from __future__ import annotations
 
+import numpy as np
+
 
 class TimeAverager:
     """Time average of a piecewise-constant scalar signal."""
@@ -85,6 +87,30 @@ class ReadSampleAccumulator:
         self.count += 1
         self._sum += value
         self._weighted_sum += weight * value
+
+    def record_many(self, times, values, weights) -> None:
+        """Batched :meth:`record`, bit-for-bit against the scalar loop.
+
+        Float addition is not associative, so a naive ``sum()`` of the
+        batch would drift from sequential accumulation in the last ulp.
+        ``np.cumsum`` *is* the sequential fold (every prefix is emitted),
+        so seeding it with the running total reproduces the exact
+        sequence of additions :meth:`record` would have performed.
+        """
+        times = np.asarray(times, dtype=float)
+        values = np.asarray(values, dtype=float)
+        weights = np.asarray(weights, dtype=float)
+        keep = times >= self.warmup
+        if not keep.all():
+            values = values[keep]
+            weights = weights[keep]
+        if not len(values):
+            return
+        self.count += len(values)
+        self._sum = float(np.cumsum(
+            np.concatenate(([self._sum], values)))[-1])
+        self._weighted_sum = float(np.cumsum(
+            np.concatenate(([self._weighted_sum], weights * values)))[-1])
 
     def mean(self) -> float:
         """Unweighted mean over the recorded samples (0 when empty)."""

@@ -97,6 +97,59 @@ class DivergenceCollector:
         if now > self._end:
             self._end = now
 
+    def record_at(self, indices: np.ndarray, times: np.ndarray,
+                  divergences: np.ndarray) -> None:
+        """Batched :meth:`record` with *per-event* times.
+
+        ``record_many`` handles one instant and distinct objects; this
+        handles a whole run of trace events -- nondecreasing ``times``,
+        duplicates allowed -- as the batched replayer produces between
+        simulator wakeups.  Each event's piece starts where that object's
+        previous event (in the batch, or before it) left off, so the
+        linkage is a stable grouping by object; within one object the
+        integral increments land via ``np.add.at`` in batch order, the
+        same fold-left accumulation a sequence of :meth:`record` calls
+        performs.  Arithmetic is operand-for-operand the scalar path's
+        (``d * span``, ``d * w * span``, weights at each piece's own
+        start), so a batch and the equivalent record sequence agree bit
+        for bit.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        n = len(indices)
+        if not n:
+            return
+        times = np.asarray(times, dtype=float)
+        divergences = np.asarray(divergences, dtype=float)
+        order = np.argsort(indices, kind="stable")
+        sidx = indices[order]
+        stimes = times[order]
+        sdiv = divergences[order]
+        follows = np.empty(n, dtype=bool)  # same object as previous entry
+        follows[0] = False
+        follows[1:] = sidx[1:] == sidx[:-1]
+        prev_time = np.where(follows, np.roll(stimes, 1),
+                             self._last_time[sidx])
+        prev_div = np.where(follows, np.roll(sdiv, 1),
+                            self._divergence[sidx])
+        lo = np.maximum(prev_time, self.warmup)
+        hi = np.maximum(stimes, self.warmup)
+        active = (hi > lo) & (prev_div != 0.0)
+        if active.any():
+            sel = sidx[active]
+            span = hi[active] - lo[active]
+            d = prev_div[active]
+            w = self.weights.weights_at(lo[active], sel)
+            np.add.at(self._unweighted_integral, sel, d * span)
+            np.add.at(self._weighted_integral, sel, d * w * span)
+        last = np.empty(n, dtype=bool)  # last entry of each object's group
+        last[:-1] = sidx[1:] != sidx[:-1]
+        last[-1] = True
+        self._last_time[sidx[last]] = stimes[last]
+        self._divergence[sidx[last]] = sdiv[last]
+        end = float(times[-1])  # times nondecreasing: the batch maximum
+        if end > self._end:
+            self._end = end
+
     def schedule_resample(self, sim, interval: float):
         """Register this collector's periodic re-break on its own cadence.
 
@@ -212,6 +265,35 @@ class ReadCollector:
         self.replica_reads[cache_id] += 1
         if divergence != 0.0:
             self.stale_reads += 1
+
+    def record_many(self, indices: np.ndarray, times: np.ndarray,
+                    divergences: np.ndarray,
+                    cache_ids: np.ndarray) -> None:
+        """Batched :meth:`record_read`, bit-for-bit against the loop.
+
+        The replica/stale tallies are integers (order-free); the sample
+        sums delegate to the accumulator's sequential-fold batch, and the
+        weights come from the same vectorized ``weights_at`` the
+        divergence collectors use.  Used by the batched read replay path.
+        """
+        indices = np.asarray(indices, dtype=np.int64)
+        if not len(indices):
+            return
+        times = np.asarray(times, dtype=float)
+        divergences = np.asarray(divergences, dtype=float)
+        cache_ids = np.asarray(cache_ids, dtype=np.int64)
+        keep = times >= self.warmup
+        if not keep.all():
+            indices = indices[keep]
+            times = times[keep]
+            divergences = divergences[keep]
+            cache_ids = cache_ids[keep]
+            if not len(indices):
+                return
+        weights = self.weights.weights_at(times, indices)
+        self._acc.record_many(times, divergences, weights)
+        np.add.at(self.replica_reads, cache_ids, 1)
+        self.stale_reads += int(np.count_nonzero(divergences))
 
     @property
     def reads(self) -> int:

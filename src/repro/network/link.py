@@ -27,7 +27,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable
 
-from repro.network.bandwidth import BandwidthProfile
+from repro.network.bandwidth import BandwidthProfile, ConstantBandwidth
 from repro.network.messages import Message
 
 DeliveryCallback = Callable[[Message], None]
@@ -42,6 +42,12 @@ class Link:
     direction.
     """
 
+    __slots__ = ("name", "profile", "deliver", "credit", "queue",
+                 "_last_accrue", "_tick_added", "_const_rate", "_lazy",
+                 "_synced_tick", "_synced_boundary", "on_queue",
+                 "tick_capacity", "tick_used", "total_sent",
+                 "total_delivered", "total_queued_peak")
+
     def __init__(self, name: str, profile: BandwidthProfile,
                  deliver: DeliveryCallback | None = None) -> None:
         self.name = name
@@ -51,9 +57,14 @@ class Link:
         self.queue: deque[Message] = deque()
         self._last_accrue = 0.0
         self._tick_added = 0.0
+        # Constant profiles take accrue's closed-form fast path; the
+        # expression below is ConstantBandwidth.capacity verbatim, so the
+        # shortcut is bit-identical to the method call it skips.
+        self._const_rate = profile._rate \
+            if type(profile) is ConstantBandwidth else None
         # Lazy-refill state: a link marked lazy by its topology skips the
         # per-tick refill loop and is brought up to date on first touch.
-        self.lazy = False
+        self._lazy = False
         self._synced_tick = 0
         self._synced_boundary = 0.0
         #: optional callback invoked when a message joins the FIFO queue
@@ -69,11 +80,35 @@ class Link:
     # ------------------------------------------------------------------
     # Credit management
     # ------------------------------------------------------------------
+    @property
+    def lazy(self) -> bool:
+        """True when this link skips eager per-tick refills."""
+        return self._lazy
+
+    @lazy.setter
+    def lazy(self, value: bool) -> None:
+        # sync_to_tick replays skipped refills exactly only when every
+        # tick earns the same capacity; a fluctuating profile replayed
+        # from the wrong boundary would fabricate credit.  Refuse early
+        # instead of silently diverging.
+        if value and self.profile.steady_rate is None:
+            raise ValueError(
+                f"link {self.name!r} cannot refill lazily: profile "
+                f"{self.profile!r} is not steady (lazy sync replays "
+                f"per-tick refills, which is only exact when each tick "
+                f"earns identical capacity)")
+        self._lazy = value
+
     def accrue(self, now: float) -> None:
         """Fold in capacity earned since the last accrual."""
-        if now <= self._last_accrue:
+        last = self._last_accrue
+        if now <= last:
             return
-        added = self.profile.capacity(self._last_accrue, now)
+        rate = self._const_rate
+        if rate is not None:
+            added = rate * (now - last)
+        else:
+            added = self.profile.capacity(last, now)
         self._last_accrue = now
         self.credit += added
         self._tick_added += added
@@ -247,12 +282,26 @@ class Link:
         """Number of messages currently waiting for capacity."""
         return len(self.queue)
 
-    def surplus(self) -> float:
+    def surplus(self, now: float | None = None) -> float:
         """Leftover credit after this tick's drain (0 when backlogged).
 
         The cache's feedback controller treats a positive surplus with an
-        empty queue as "bandwidth underutilized" (Sec 5).
+        empty queue as "bandwidth underutilized" (Sec 5).  Pass ``now`` to
+        fold in capacity earned since the link was last touched --
+        without it a mid-tick reading under-counts, since credit accrues
+        continuously but only sends and refills used to call
+        :meth:`accrue`.  Tick-aligned readers (the feedback controller
+        runs right after the NETWORK-phase refill) see identical values
+        either way.
+
+        On a *lazy* link the accrual is skipped: a raw ``accrue`` across
+        un-synced tick boundaries would fold a multi-tick span into one
+        uncapped refill and corrupt :meth:`sync_to_tick`'s replay.  Lazy
+        links must be brought up to date through their topology's sync
+        (which all senders do) before their surplus means anything.
         """
+        if now is not None and not self._lazy:
+            self.accrue(now)
         if self.queue:
             return 0.0
         return self.credit

@@ -279,9 +279,15 @@ class Topology(ABC):
     def source_at_capacity(self, source_id: int) -> bool:
         """True when the source spent all its credit this tick (footnote 3)."""
 
-    def cache_surplus(self, cache_id: int) -> float:
-        """Leftover credit on one cache link (0 when backlogged)."""
-        return self.cache_links[cache_id].surplus()
+    def cache_surplus(self, cache_id: int,
+                      now: float | None = None) -> float:
+        """Leftover credit on one cache link (0 when backlogged).
+
+        ``now`` forwards to :meth:`Link.surplus` so mid-tick readers (a
+        feedback controller probing between refills) see credit earned
+        since the link was last touched instead of a stale balance.
+        """
+        return self.cache_links[cache_id].surplus(now)
 
     def cache_messages_total(self) -> int:
         """Messages accepted by all cache links so far."""

@@ -13,9 +13,9 @@ experimental design of the paper's Figures 4-6.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Callable
+from typing import Callable, Sequence
 
-from typing import Sequence
+import numpy as np
 
 from repro.core.divergence import DivergenceMetric
 from repro.core.objects import DataObject
@@ -42,7 +42,8 @@ class SimulationContext:
     def __init__(self, workload: Workload, metric: DivergenceMetric,
                  warmup: float = 0.0, dt: float = 1.0,
                  seed: int = 0,
-                 topology: TopologyConfig | None = None) -> None:
+                 topology: TopologyConfig | None = None,
+                 replay: str = "batched") -> None:
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
         self.workload = workload
@@ -51,22 +52,27 @@ class SimulationContext:
         self.dt = dt
         self.topology_config = topology if topology is not None \
             else TopologyConfig()
+        self.replay = replay
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         trace = workload.trace
-        owner = workload.owner  # precomputed object -> source map
+        # Python scalars up front: one .tolist() per array beats a numpy
+        # scalar extraction per object when m ~ 10^5.
+        owners = workload.owner.tolist()
+        rates = np.asarray(workload.rates, dtype=float).tolist()
+        initial_values = trace.initial_values.tolist()
         self.objects = [
-            DataObject(index=i,
-                       source_id=int(owner[i]),
-                       rate=float(workload.rates[i]),
-                       value=float(trace.initial_values[i]))
+            DataObject(index=i, source_id=owners[i], rate=rates[i],
+                       value=initial_values[i])
             for i in range(workload.num_objects)
         ]
         self.collector = DivergenceCollector(workload.num_objects,
                                              workload.weights,
                                              warmup=warmup)
         self._update_hooks: list[UpdateHook] = []
-        self.replayer = TraceReplayer(self.sim, trace, self.apply_update)
+        self.replayer = TraceReplayer(self.sim, trace, self.apply_update,
+                                      apply_batch=self.apply_update_batch,
+                                      mode=replay)
 
     def build_topology(self, cache_bandwidth: BandwidthProfile,
                        source_profiles: Sequence[BandwidthProfile]
@@ -91,6 +97,50 @@ class SimulationContext:
         self.collector.record(index, now, obj.truth.divergence)
         for hook in self._update_hooks:
             hook(obj, now)
+
+    def apply_update_batch(self, times: np.ndarray, indices: np.ndarray,
+                           values: np.ndarray) -> None:
+        """Apply a run of consecutive trace updates in one call.
+
+        The batched replayer hands over every trace event strictly before
+        the simulator's next foreign event.  With update hooks registered
+        (the cooperative/ideal/competitive policies) each event must run
+        the full per-event sequence -- hooks can send messages whose
+        delivery reads the simulator clock -- so the hooked path loops,
+        advancing ``sim.now`` per event exactly as per-event replay's
+        firings did.  Hooks may mutate any policy or network state but
+        must not schedule new simulator events; every built-in policy
+        routes its scheduling through :class:`~repro.sim.events.WakeupSet`
+        dispatchers precisely so that replay batching stays exact (see
+        DESIGN.md Sec 10).
+
+        Without hooks nothing can interleave with the batch, so the
+        divergence bookkeeping for the whole run lands in one vectorized
+        :meth:`DivergenceCollector.record_at
+        <repro.metrics.collector.DivergenceCollector.record_at>` call;
+        object state transitions stay per event (each is a tiny state
+        machine), matching the per-event path bit for bit.
+        """
+        sim = self.sim
+        objects = self.objects
+        metric = self.metric
+        times_list = times.tolist()
+        indices_list = indices.tolist()
+        values_list = values.tolist()
+        if self._update_hooks:
+            apply = self.apply_update
+            for pos in range(len(times_list)):
+                now = times_list[pos]
+                sim.now = now  # advance_clock inlined (hot loop)
+                apply(now, indices_list[pos], values_list[pos])
+            return
+        divergences = np.empty(len(times_list))
+        for pos in range(len(times_list)):
+            obj = objects[indices_list[pos]]
+            obj.apply_update(times_list[pos], values_list[pos], metric)
+            divergences[pos] = obj.truth.divergence
+        self.collector.record_at(indices, times, divergences)
+        sim.advance_clock(times_list[-1])
 
     def run(self, end_time: float,
             resample_interval: float | None = None) -> None:

@@ -171,13 +171,20 @@ class CooperativePolicy(SyncPolicy):
 
         per_source = workload.objects_per_source
         self.sources = []
+        # The derived feedback period depends only on a source's primary
+        # cache, so compute it once per cache instead of once per source
+        # (at m ~ 10^5 the per-source log/len arithmetic is real money).
+        period_by_cache: dict[int, float | None] = {}
         for j in range(workload.num_sources):
             objects = ctx.objects[j * per_source:(j + 1) * per_source]
+            primary = topology.primary_cache_of(j)
+            if primary not in period_by_cache:
+                period_by_cache[primary] = self._feedback_period_for(j, ctx)
             tracker = PriorityTracker()
             threshold = ThresholdController(
                 initial=self.initial_threshold, alpha=self.alpha,
                 omega=self.omega,
-                feedback_period=self._feedback_period_for(j, ctx))
+                feedback_period=period_by_cache[primary])
             monitor = self._build_monitor(tracker, workload.weights,
                                           ctx.metric, threshold)
             if self.batch_size > 1:

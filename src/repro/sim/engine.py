@@ -10,13 +10,39 @@ still allowing updates at exact (non-integer) event times.
 
 from __future__ import annotations
 
-from typing import Callable
+import contextlib
+import gc
+import math
+from typing import Callable, Iterator
 
 from repro.sim.events import Event, EventQueue, Phase
 
 
 class SimulationError(RuntimeError):
     """Raised for scheduling mistakes, e.g. scheduling into the past."""
+
+
+@contextlib.contextmanager
+def gc_paused() -> Iterator[None]:
+    """Pause the cyclic garbage collector for a bounded stretch of work.
+
+    Building and running a simulation allocates millions of small,
+    mostly-acyclic objects (events, messages, per-source nodes); the
+    generational collector re-scans that entire live graph every few
+    thousand allocations, which at m ~ 10^5 costs more wall clock than
+    the simulation itself.  Pausing collection (not reference counting --
+    plain garbage is still freed instantly) trades a bounded amount of
+    memory headroom for that scan time; the previous GC state is restored
+    even on exceptions, and any cycles created meanwhile are collected on
+    the first automatic pass after the block exits.
+    """
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
 
 
 class Ticker:
@@ -79,6 +105,12 @@ class Simulator:
         self._queue = EventQueue()
         self._tickers: list[Ticker] = []
         self._wakeups: dict[tuple[int, object], Event] = {}
+        self._wakeup_actions: dict[tuple[int, object],
+                                   Callable[[], None]] = {}
+        #: end time of the innermost :meth:`run_until` in progress
+        #: (``inf`` outside one).  Batched replayers use it to avoid
+        #: applying trace events the per-event schedule would never reach.
+        self.run_horizon: float = math.inf
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -125,11 +157,17 @@ class Simulator:
         guarantees apply; entities that must preserve a relative order
         *within* one phase and timestamp should share a dispatcher built
         on :class:`repro.sim.events.WakeupSet` instead.
+
+        Rescheduling at the timer's *current* deadline replaces the
+        callback but keeps the already-queued event (and hence its
+        position in the same-timestamp FIFO order): the action is looked
+        up at fire time, never captured at scheduling time.
         """
         if time < self.now:
             raise SimulationError(
                 f"cannot wake at t={time} < now={self.now}")
         handle = (int(phase), key)
+        self._wakeup_actions[handle] = action
         existing = self._wakeups.get(handle)
         if existing is not None and not existing.cancelled:
             if existing.time == time:
@@ -139,7 +177,9 @@ class Simulator:
         def fire() -> None:
             if self._wakeups.get(handle) is event:
                 del self._wakeups[handle]
-            action()
+                self._wakeup_actions.pop(handle)()
+            # A replaced timer never runs a stale action: the handle now
+            # maps to the replacement event, which owns the action.
 
         event = self._queue.push(time, phase, fire)
         self._wakeups[handle] = event
@@ -147,9 +187,11 @@ class Simulator:
 
     def cancel_wake(self, key, phase: int = Phase.DEFAULT) -> None:
         """Cancel a pending :meth:`wake_at` timer (no-op if none)."""
-        event = self._wakeups.pop((int(phase), key), None)
+        handle = (int(phase), key)
+        event = self._wakeups.pop(handle, None)
         if event is not None:
             event.cancel()
+        self._wakeup_actions.pop(handle, None)
 
     @property
     def pending_wakeups(self) -> int:
@@ -160,6 +202,32 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
+    @property
+    def next_event_time(self) -> float | None:
+        """Time of the next queued live event (``None`` when idle).
+
+        Inside an event's action this is the *foreign-event boundary*: the
+        running event is already off the heap, so a batched replayer sees
+        exactly the earliest timestamp anyone else is scheduled for.
+        """
+        return self._queue.peek_time()
+
+    def advance_clock(self, time: float) -> None:
+        """Move ``now`` forward between queued events (batched replay).
+
+        A batched replayer applies several trace events inside one
+        simulator event; advancing the clock as it goes keeps every
+        ``sim.now`` read (message delivery clocks, hook timestamps)
+        identical to the per-event schedule, where each trace event's own
+        firing moved the clock.  Must never rewind, and must stay at or
+        before the next queued event (enforced by the batch boundary, not
+        re-checked here -- this is a hot-path call).
+        """
+        if time < self.now:
+            raise SimulationError(
+                f"cannot rewind the clock to t={time} < now={self.now}")
+        self.now = time
+
     def step(self) -> bool:
         """Execute the single next event.  Returns ``False`` when idle."""
         event = self._queue.pop()
@@ -173,17 +241,25 @@ class Simulator:
         """Run all events with ``time <= end_time``; leave ``now = end_time``.
 
         Events scheduled exactly at ``end_time`` *do* execute, so a ticker
-        with interval 1 run until ``t=100`` fires 100 times.
+        with interval 1 run until ``t=100`` fires 100 times.  While the
+        loop runs, :attr:`run_horizon` holds ``end_time`` so batched
+        replayers never apply trace events past the cut-off the per-event
+        schedule would respect.
         """
         queue = self._queue
-        while True:
-            next_time = queue.peek_time()
-            if next_time is None or next_time > end_time:
-                break
-            event = queue.pop()
-            assert event is not None
-            self.now = event.time
-            event.action()
+        previous_horizon = self.run_horizon
+        self.run_horizon = end_time
+        try:
+            while True:
+                next_time = queue.peek_time()
+                if next_time is None or next_time > end_time:
+                    break
+                event = queue.pop()
+                assert event is not None
+                self.now = event.time
+                event.action()
+        finally:
+            self.run_horizon = previous_horizon
         self.now = max(self.now, end_time)
 
     def cancel_all_tickers(self) -> None:

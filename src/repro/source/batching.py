@@ -29,6 +29,9 @@ from repro.source.source import SourceNode
 class BatchingSource(SourceNode):
     """A source that packages several refreshes into each message."""
 
+    __slots__ = ("batch_size", "batch_timeout", "batches_sent",
+                 "items_sent", "_staged", "_staged_since")
+
     def __init__(self, *args, batch_size: int = 4,
                  batch_timeout: float = 5.0, **kwargs) -> None:
         super().__init__(*args, **kwargs)

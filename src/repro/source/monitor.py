@@ -35,6 +35,8 @@ from repro.sim.events import WakeupSet
 class PriorityMonitor(ABC):
     """Keeps a source's :class:`PriorityTracker` up to date."""
 
+    __slots__ = ("tracker", "priority_fn", "weights")
+
     def __init__(self, tracker: PriorityTracker,
                  priority_fn: PriorityFunction,
                  weights: WeightModel) -> None:
@@ -99,6 +101,8 @@ class PriorityMonitor(ABC):
 class TriggerMonitor(PriorityMonitor):
     """Exact monitoring via update triggers (the paper's default)."""
 
+    __slots__ = ()
+
     def on_update(self, obj: DataObject, now: float) -> None:
         self._recompute(obj, now)
 
@@ -145,6 +149,11 @@ class SamplingMonitor(PriorityMonitor):
         Zero-argument callable returning the source's current refresh
         threshold (used only for predictive scheduling).
     """
+
+    __slots__ = ("metric", "interval", "min_interval", "predictive",
+                 "threshold", "samples_taken", "_last_sample_time",
+                 "_last_sample_div", "_est_integral", "_next_sample",
+                 "_deadlines")
 
     def __init__(self, tracker: PriorityTracker,
                  priority_fn: PriorityFunction, weights: WeightModel,

@@ -31,6 +31,10 @@ class SourceNode:
     ``feedback_by_cache`` for diagnostics).
     """
 
+    __slots__ = ("source_id", "objects", "monitor", "threshold",
+                 "topology", "refreshes_sent", "feedback_received",
+                 "feedback_by_cache", "send_hooks", "_by_index")
+
     def __init__(self, source_id: int, objects: list[DataObject],
                  monitor: PriorityMonitor,
                  threshold: ThresholdController,
@@ -45,7 +49,6 @@ class SourceNode:
         self.feedback_by_cache: dict[int, int] = {}
         #: callbacks ``hook(obj, now, threshold_driven)`` fired per send
         self.send_hooks: list = []
-        self._index_base = min((o.index for o in objects), default=0)
         self._by_index = {obj.index: obj for obj in objects}
 
     # ------------------------------------------------------------------

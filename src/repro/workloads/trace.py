@@ -89,29 +89,61 @@ class UpdateTrace:
                 writer.writerow([repr(time), index, repr(value)])
 
     @classmethod
-    def from_csv(cls, path: str) -> "UpdateTrace":
-        """Read a trace written by :meth:`to_csv`."""
+    def from_csv(cls, path: str,
+                 num_objects: int | None = None) -> "UpdateTrace":
+        """Read a trace written by :meth:`to_csv`.
+
+        ``num_objects`` overrides the inferred object count.  Inference
+        uses the largest object index present in the file, which silently
+        *shrinks* the object space when trailing objects are quiet (no
+        update and no initial-value row) -- external CSVs without the
+        ``t = -1`` preamble :meth:`to_csv` writes hit exactly that.  Pass
+        the true count to keep quiet tail objects addressable.
+
+        Malformed rows raise :class:`ValueError` naming the offending
+        line instead of surfacing an opaque conversion error.
+        """
         times: list[float] = []
         indices: list[int] = []
         values: list[float] = []
         initials: dict[int, float] = {}
         with open(path, newline="") as f:
             reader = csv.reader(f)
-            header = next(reader)
+            header = next(reader, None)
             if header != ["time", "object", "value"]:
                 raise ValueError(f"unexpected trace header: {header}")
-            for row in reader:
-                time, index, value = float(row[0]), int(row[1]), float(row[2])
+            for line_no, row in enumerate(reader, start=2):
+                if len(row) != 3:
+                    raise ValueError(
+                        f"{path}:{line_no}: expected 3 fields "
+                        f"(time,object,value), got {len(row)}: {row!r}")
+                try:
+                    time = float(row[0])
+                    index = int(row[1])
+                    value = float(row[2])
+                except ValueError as exc:
+                    raise ValueError(
+                        f"{path}:{line_no}: malformed trace row "
+                        f"{row!r}: {exc}") from None
+                if index < 0:
+                    raise ValueError(
+                        f"{path}:{line_no}: negative object index {index}")
                 if time < 0:
                     initials[index] = value
                     continue
                 times.append(time)
                 indices.append(index)
                 values.append(value)
-        num_objects = max(
+        inferred = max(
             max(initials, default=-1),
             max(indices, default=-1),
         ) + 1
+        if num_objects is None:
+            num_objects = inferred
+        elif inferred > num_objects:
+            raise ValueError(
+                f"{path} references object {inferred - 1} but "
+                f"num_objects={num_objects}")
         initial_values = np.zeros(num_objects)
         for index, value in initials.items():
             initial_values[index] = value
@@ -122,19 +154,53 @@ class UpdateTrace:
                    initial_values=initial_values)
 
 
+#: Valid ``mode=`` choices for the replayers (here and in read_process).
+REPLAY_MODES = ("batched", "event")
+
+
+def check_replay_mode(mode: str) -> None:
+    """Raise on an unknown replayer ``mode=`` value."""
+    if mode not in REPLAY_MODES:
+        raise ValueError(
+            f"unknown replay mode {mode!r}; expected one of {REPLAY_MODES}")
+
+
 class TraceReplayer:
     """Feeds an :class:`UpdateTrace` into a :class:`Simulator`.
 
     Only one event is in the simulator's queue at a time (the next update),
     so million-event traces do not bloat the heap.  Updates fire in the
     ``UPDATES`` phase, before network/scheduling work at the same timestamp.
+
+    ``mode`` selects how many trace events each firing applies:
+
+    * ``"batched"`` (default): one firing applies *every* trace event
+      strictly before the simulator's next foreign event (and within the
+      current :attr:`~repro.sim.engine.Simulator.run_horizon`) in a single
+      ``apply_batch`` call -- no per-event heap churn.  Bit-for-bit
+      identical to per-event replay provided batch appliers advance the
+      simulator clock per event and never schedule new simulator events
+      (see DESIGN.md Sec 10 for the boundary argument).
+    * ``"event"``: the original one-event-per-firing schedule.
+
+    ``apply_batch`` receives equal-length numpy array views
+    ``(times, indices, values)``; when omitted, a loop over
+    ``apply_update`` (with the clock advanced per event) is used, which is
+    exact for any applier that does not schedule simulator events.
     """
 
     def __init__(self, sim: Simulator, trace: UpdateTrace,
-                 apply_update: Callable[[float, int, float], None]) -> None:
+                 apply_update: Callable[[float, int, float], None],
+                 apply_batch=None, mode: str = "batched") -> None:
+        check_replay_mode(mode)
         self._sim = sim
         self._trace = trace
         self._apply = apply_update
+        self._apply_batch = apply_batch if apply_batch is not None \
+            else self._default_apply_batch
+        self.mode = mode
+        self._fire = self._fire_batched if mode == "batched" \
+            else self._fire_event
         self._cursor = 0
         self._schedule_next()
 
@@ -149,10 +215,52 @@ class TraceReplayer:
         self._sim.at(max(time, self._sim.now), self._fire,
                      phase=Phase.UPDATES)
 
-    def _fire(self) -> None:
+    def _fire_event(self) -> None:
         trace = self._trace
         k = self._cursor
         self._apply(float(trace.times[k]), int(trace.object_indices[k]),
                     float(trace.values[k]))
         self._cursor += 1
         self._schedule_next()
+
+    def _fire_batched(self) -> None:
+        trace = self._trace
+        end = batch_end(self._sim, trace.times, self._cursor)
+        k = self._cursor
+        self._apply_batch(trace.times[k:end],
+                          trace.object_indices[k:end],
+                          trace.values[k:end])
+        self._cursor = end
+        self._schedule_next()
+
+    def _default_apply_batch(self, times, indices, values) -> None:
+        sim = self._sim
+        apply = self._apply
+        for time, index, value in zip(times.tolist(), indices.tolist(),
+                                      values.tolist()):
+            sim.now = time  # advance_clock inlined (hot loop)
+            apply(time, index, value)
+
+
+def batch_end(sim: Simulator, times: np.ndarray, cursor: int) -> int:
+    """End (exclusive) of the event run a replayer firing may apply.
+
+    Called from inside the replayer's own firing, when its event is
+    already off the heap: every queued event is *foreign*.  The batch
+    covers events strictly before the next foreign event time -- a trace
+    event at exactly that timestamp must go back through the heap so the
+    ``(time, phase, seq)`` ordering arbitrates, exactly as per-event
+    replay's reschedule does -- and never beyond the simulator's
+    ``run_horizon`` (events past the ``run_until`` cut-off would not have
+    fired at all).  At least one event (the one this firing was scheduled
+    for) is always included.
+    """
+    boundary = sim.next_event_time
+    if boundary is None:
+        end = len(times)
+    else:
+        end = int(np.searchsorted(times, boundary, side="left"))
+    horizon = sim.run_horizon
+    if horizon < np.inf:
+        end = min(end, int(np.searchsorted(times, horizon, side="right")))
+    return max(end, cursor + 1)

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.network.bandwidth import ConstantBandwidth
+from repro.network.bandwidth import ConstantBandwidth, SineBandwidth
 from repro.network.link import Link
 from repro.network.messages import FeedbackMessage
 
@@ -122,6 +122,35 @@ class TestCredit:
         assert link.queued == 1
         assert link.surplus() == 0.0
 
+    def test_surplus_accrues_mid_tick_credit(self):
+        """Regression: a mid-tick surplus reading must include capacity
+        earned since the link was last touched, not a stale balance."""
+        link, _ = make_link(rate=4.0)
+        link.refill(1.0)
+        assert link.surplus() == pytest.approx(4.0)
+        # Half a tick later the bucket has earned 2 more units; without
+        # the accrual the reading under-counts at exactly 4.0.
+        assert link.surplus(1.5) == pytest.approx(6.0)
+
+    def test_surplus_without_now_matches_tick_aligned_reading(self):
+        """At the refill boundary the accrual is a no-op, so readers that
+        pass ``now`` and readers that do not agree bit for bit."""
+        link, _ = make_link(rate=4.0)
+        link.refill(1.0)
+        assert link.surplus(1.0) == link.surplus()
+
+    def test_surplus_never_accrues_on_a_lazy_link(self):
+        """A raw accrual across un-synced tick boundaries would bypass
+        sync_to_tick's per-tick credit caps; lazy links report their
+        last-synced balance instead."""
+        link, _ = make_link(rate=4.0)
+        link.lazy = True
+        link.refill(1.0)
+        before = (link.credit, link._last_accrue, link._tick_added)
+        assert link.surplus(7.0) == link.surplus()
+        assert (link.credit, link._last_accrue,
+                link._tick_added) == before
+
     def test_utilization_zero_with_no_capacity(self):
         link, _ = make_link(rate=0.0)
         link.refill(1.0)
@@ -171,6 +200,29 @@ class TestPublicCreditApi:
         assert link.send(msg())
         assert link.credit == pytest.approx(1.0)
         assert link.total_sent == 1
+
+
+class TestLazyRequiresSteadyProfile:
+    """Lazy refill replay is only exact for steady profiles; marking any
+    other link lazy must fail loudly instead of silently diverging."""
+
+    def test_non_steady_profile_refuses_lazy(self):
+        link = Link("sine", SineBandwidth(4.0, 0.25))
+        with pytest.raises(ValueError, match="not steady"):
+            link.lazy = True
+        assert not link.lazy
+
+    def test_steady_profile_accepts_lazy(self):
+        link = Link("flat", ConstantBandwidth(4.0))
+        link.lazy = True
+        assert link.lazy
+        link.lazy = False
+        assert not link.lazy
+
+    def test_non_steady_may_be_marked_eager(self):
+        link = Link("sine", SineBandwidth(4.0, 0.25))
+        link.lazy = False  # the classify loop always assigns
+        assert not link.lazy
 
 
 class TestLazySync:

@@ -65,6 +65,54 @@ class TestScheduling:
         assert not sim.step()
 
 
+class TestBatchedReplayApi:
+    def test_next_event_time_reports_head(self):
+        sim = Simulator()
+        assert sim.next_event_time is None
+        sim.at(3.0, lambda: None)
+        sim.at(1.5, lambda: None)
+        assert sim.next_event_time == 1.5
+
+    def test_advance_clock_moves_forward(self):
+        sim = Simulator()
+        sim.advance_clock(2.5)
+        assert sim.now == 2.5
+
+    def test_advance_clock_refuses_rewind(self):
+        sim = Simulator()
+        sim.advance_clock(2.5)
+        with pytest.raises(SimulationError):
+            sim.advance_clock(1.0)
+
+    def test_run_horizon_published_during_run(self):
+        import math
+
+        sim = Simulator()
+        seen = []
+        sim.at(1.0, lambda: seen.append(sim.run_horizon))
+        assert sim.run_horizon == math.inf
+        sim.run_until(4.0)
+        assert seen == [4.0]
+        assert sim.run_horizon == math.inf
+
+    def test_gc_paused_restores_state(self):
+        import gc
+
+        from repro.sim.engine import gc_paused
+
+        assert gc.isenabled()
+        with gc_paused():
+            assert not gc.isenabled()
+        assert gc.isenabled()
+        gc.disable()
+        try:
+            with gc_paused():
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # stays off if it was off
+        finally:
+            gc.enable()
+
+
 class TestTickers:
     def test_ticker_fires_every_interval(self):
         sim = Simulator()
@@ -163,6 +211,38 @@ class TestWakeAt:
         sim.wake_at("src-0", 4.0, lambda: fired.append(("b", sim.now)))
         sim.run_until(5.0)
         assert fired == [("b", 4.0)]
+
+    def test_same_deadline_replaces_the_action(self):
+        """Regression: rescheduling at the timer's current deadline must
+        install the new callback, not silently keep the stale one."""
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append("stale"))
+        sim.wake_at("src-0", 2.0, lambda: fired.append("fresh"))
+        sim.run_until(5.0)
+        assert fired == ["fresh"]
+        assert sim.pending_wakeups == 0
+
+    def test_same_deadline_reschedule_keeps_queue_position(self):
+        """Replacing the action at an unchanged deadline must not move
+        the timer behind same-timestamp events scheduled in between."""
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append("stale"))
+        sim.at(2.0, lambda: fired.append("bystander"))
+        sim.wake_at("src-0", 2.0, lambda: fired.append("fresh"))
+        sim.run_until(5.0)
+        # The wakeup kept its original (earlier) sequence number.
+        assert fired == ["fresh", "bystander"]
+
+    def test_cancel_after_same_deadline_reschedule(self):
+        sim = Simulator()
+        fired = []
+        sim.wake_at("src-0", 2.0, lambda: fired.append("stale"))
+        sim.wake_at("src-0", 2.0, lambda: fired.append("fresh"))
+        sim.cancel_wake("src-0")
+        sim.run_until(5.0)
+        assert fired == []
 
     def test_same_key_different_phase_is_independent(self):
         from repro.sim.events import Phase

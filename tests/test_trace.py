@@ -85,6 +85,57 @@ class TestCsvRoundTrip:
         with pytest.raises(ValueError):
             UpdateTrace.from_csv(str(path))
 
+    def test_round_trip_with_quiet_last_object(self, tmp_path):
+        """A trailing object with no update must survive the round trip
+        (to_csv's initial-value preamble carries it)."""
+        trace = UpdateTrace(
+            num_objects=5,
+            times=np.array([1.0, 3.0]),
+            object_indices=np.array([0, 2]),
+            values=np.array([4.0, -2.0]),
+        )
+        path = str(tmp_path / "quiet.csv")
+        trace.to_csv(path)
+        loaded = UpdateTrace.from_csv(path)
+        assert loaded.num_objects == 5
+        np.testing.assert_allclose(loaded.initial_values, np.zeros(5))
+
+    def test_external_csv_shrinks_without_override(self, tmp_path):
+        """Regression setup: an external CSV (no t = -1 preamble) with a
+        quiet tail infers too few objects; num_objects= restores them."""
+        path = tmp_path / "external.csv"
+        path.write_text("time,object,value\n1.0,0,4.0\n3.0,2,-2.0\n")
+        inferred = UpdateTrace.from_csv(str(path))
+        assert inferred.num_objects == 3  # the silent shrink
+        fixed = UpdateTrace.from_csv(str(path), num_objects=5)
+        assert fixed.num_objects == 5
+        assert len(fixed.initial_values) == 5
+        np.testing.assert_array_equal(fixed.object_indices, [0, 2])
+
+    def test_num_objects_override_too_small_rejected(self, tmp_path):
+        path = tmp_path / "external.csv"
+        path.write_text("time,object,value\n1.0,4,1.0\n")
+        with pytest.raises(ValueError, match="references object 4"):
+            UpdateTrace.from_csv(str(path), num_objects=3)
+
+    def test_wrong_arity_row_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,object,value\n1.0,0,4.0\n2.0,1\n")
+        with pytest.raises(ValueError, match=r":3: expected 3 fields"):
+            UpdateTrace.from_csv(str(path))
+
+    def test_unparseable_row_names_the_line(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,object,value\n1.0,zero,4.0\n")
+        with pytest.raises(ValueError, match=r":2: malformed trace row"):
+            UpdateTrace.from_csv(str(path))
+
+    def test_negative_object_index_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("time,object,value\n1.0,-2,4.0\n")
+        with pytest.raises(ValueError, match="negative object index"):
+            UpdateTrace.from_csv(str(path))
+
 
 class TestReplayer:
     def test_replays_all_updates_in_order(self):
