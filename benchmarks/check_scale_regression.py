@@ -5,9 +5,13 @@ re-runs the E9 m = 10^5 bench (which overwrites the file), then invokes
 this script to compare the two.  A point regresses when its end-to-end
 cost (``gen_seconds + wall_seconds``) exceeds the baseline's by more than
 ``--tolerance`` (default 20%).  Points are matched on
-``(num_sources, scheduling, replay)``; points present on only one side
-are reported but never fail the check, so adding or retiring bench
-points does not break the gate.
+``(num_sources, scheduling, replay, workers, topology)`` -- a point
+measured at a different worker count or cache layout is a *different*
+point, never compared against a serial/star baseline; points present
+on only one side are reported but never fail the check, so adding or
+retiring bench points does not break the gate.  The m = 10^6
+shard-parallel points (the payload's ``million`` section) join the
+comparison alongside the top-level points.
 
 Usage::
 
@@ -24,7 +28,14 @@ import sys
 
 def point_key(point: dict) -> tuple:
     return (point.get("num_sources"), point.get("scheduling"),
-            point.get("replay", "event"))
+            point.get("replay", "event"), point.get("workers", 1),
+            point.get("topology", "star"))
+
+
+def all_points(payload: dict) -> list[dict]:
+    """Top-level points plus the ``million`` section's, when present."""
+    return (list(payload.get("points", []))
+            + list(payload.get("million", {}).get("points", [])))
 
 
 def point_total(point: dict) -> float:
@@ -36,8 +47,8 @@ def compare(baseline: dict, current: dict,
             tolerance: float) -> list[str]:
     """Human-readable comparison lines; lines starting with FAIL are
     regressions."""
-    base_points = {point_key(p): p for p in baseline.get("points", [])}
-    cur_points = {point_key(p): p for p in current.get("points", [])}
+    base_points = {point_key(p): p for p in all_points(baseline)}
+    cur_points = {point_key(p): p for p in all_points(current)}
     lines: list[str] = []
     for key, cur in sorted(cur_points.items(), key=repr):
         base = base_points.get(key)

@@ -57,6 +57,13 @@ def _add_timing(parser: argparse.ArgumentParser, warmup: float,
                         help="workload random seed")
 
 
+def _add_workers(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the sweep (1 = the "
+                             "serial in-process path; results are "
+                             "bit-identical at any worker count)")
+
+
 def _cmd_e1(args: argparse.Namespace) -> str:
     rows = run_uniform_validation(num_objects=args.objects, seed=args.seed,
                                   warmup=args.warmup, measure=args.measure)
@@ -90,7 +97,7 @@ def _cmd_fig4(args: argparse.Namespace) -> str:
                         cache_bandwidths=tuple(args.cache_bandwidths),
                         warmup=args.warmup, measure=args.measure,
                         seed=args.seed)
-    return render_fig4(run_fig4(config))
+    return render_fig4(run_fig4(config, workers=args.workers))
 
 
 def _cmd_fig5(args: argparse.Namespace) -> str:
@@ -134,7 +141,8 @@ def _cmd_multicache(args: argparse.Namespace) -> str:
                             hot_boost=args.hot_boost,
                             warmup=args.warmup, measure=args.measure,
                             seed=args.seed,
-                            cache_rates=args.cache_rates)
+                            cache_rates=args.cache_rates,
+                            workers=args.workers)
     label = (f"heterogeneous cache rates {args.cache_rates}"
              if args.cache_rates else args.topology)
     return render_multicache(
@@ -152,7 +160,7 @@ def _cmd_readmodel(args: argparse.Namespace) -> str:
                            source_bandwidth=args.source_bandwidth,
                            warmup=args.warmup, measure=args.measure,
                            seed=args.seed, generator=args.generator,
-                           replay=args.replay)
+                           replay=args.replay, workers=args.workers)
     return render_readmodel(
         points, f"Replicated read model ({args.num_caches} caches): "
                 "read-observed divergence by read policy")
@@ -169,7 +177,9 @@ def _cmd_scale(args: argparse.Namespace) -> str:
                        generator=args.generator,
                        replays=(("event", "batched")
                                 if args.replay == "both"
-                                else (args.replay,)))
+                                else (args.replay,)),
+                       workers=args.workers,
+                       shard_caches=args.shard_caches)
     return render_scale(
         points, "E9 scale sweep: event-driven wakeups vs per-tick scans "
                 f"(sparse updates, lambda = {args.update_rate}/s, "
@@ -254,6 +264,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cache-bandwidths", type=float, nargs="+",
                    default=[10.0, 40.0, 100.0])
     _add_timing(p, warmup=250.0, measure=600.0)
+    _add_workers(p)
     p.set_defaults(fn=_cmd_fig4)
 
     p = sub.add_parser("fig5", help="Figure 5 buoy experiment")
@@ -302,6 +313,7 @@ def build_parser() -> argparse.ArgumentParser:
                         "(e.g. 8,4,2); implies a single sweep point with "
                         "that many caches and overrides --cache-bandwidth")
     _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
     p.set_defaults(fn=_cmd_multicache)
 
     p = sub.add_parser("readmodel",
@@ -331,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="trace/read replay mode (batched = apply all "
                         "events between simulator wakeups in one call)")
     _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
     p.set_defaults(fn=_cmd_readmodel)
 
     p = sub.add_parser("scale",
@@ -355,7 +368,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default="batched",
                    help="trace replay mode; 'both' times the per-event "
                         "loop against the batched fast path")
+    p.add_argument("--shard-caches", type=int, default=None,
+                   help="run each point as a sharded multi-cache "
+                        "topology with this many caches, advancing the "
+                        "shards in parallel worker processes (tier 2); "
+                        "without it --workers parallelizes across sweep "
+                        "cells (tier 1)")
     _add_timing(p, warmup=100.0, measure=500.0)
+    _add_workers(p)
     p.set_defaults(fn=_cmd_scale)
 
     p = sub.add_parser("profile",

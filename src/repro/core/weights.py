@@ -52,6 +52,17 @@ class WeightModel(ABC):
         return np.array([self.weight(int(i), float(t))
                          for i, t in zip(indices, times)], dtype=float)
 
+    def subset(self, indices: np.ndarray) -> "WeightModel":
+        """Weight model restricted to ``indices``, relabeled ``0..k-1``.
+
+        Shard-parallel execution runs each cache's source block as an
+        independent sub-simulation over locally-renumbered objects; the
+        sub-model must return bit-identical weights for the surviving
+        objects (``subset(idx).weight(j, t) == weight(idx[j], t)``).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support shard slicing")
+
 
 class StaticWeights(WeightModel):
     """Constant per-object weights (the ``I(O,t) = 1`` special case and the
@@ -85,6 +96,9 @@ class StaticWeights(WeightModel):
         if indices is None:
             return self.values
         return self.values[indices]
+
+    def subset(self, indices: np.ndarray) -> "StaticWeights":
+        return StaticWeights(self.values[indices])
 
 
 class SineWeights(WeightModel):
@@ -147,6 +161,15 @@ class SineWeights(WeightModel):
             omega, phase = self.omega[indices], self.phase[indices]
         return base * (1.0 + amp * np.sin(omega * times + phase))
 
+    def subset(self, indices: np.ndarray) -> "SineWeights":
+        sliced = SineWeights(self.base[indices], self.amplitude[indices],
+                             2.0 * np.pi / self.omega[indices],
+                             self.phase[indices])
+        # The constructor stores omega = 2*pi/period; round-tripping through
+        # period can drop an ulp, so keep the original omega bits.
+        sliced.omega = self.omega[indices]
+        return sliced
+
 
 class CostAdjustedWeights(WeightModel):
     """Weights divided by per-object refresh cost (paper Sec 10.1).
@@ -183,6 +206,10 @@ class CostAdjustedWeights(WeightModel):
         costs = self.costs if indices is None else self.costs[indices]
         return self.base.weights_at(times, indices) / costs
 
+    def subset(self, indices: np.ndarray) -> "CostAdjustedWeights":
+        return CostAdjustedWeights(self.base.subset(indices),
+                                   self.costs[indices])
+
 
 class ProductWeights(WeightModel):
     """``W = I * P``: importance times popularity (paper Sec 3.2)."""
@@ -208,3 +235,7 @@ class ProductWeights(WeightModel):
                    indices: np.ndarray | None = None) -> np.ndarray:
         return (self.importance.weights_at(times, indices)
                 * self.popularity.weights_at(times, indices))
+
+    def subset(self, indices: np.ndarray) -> "ProductWeights":
+        return ProductWeights(self.importance.subset(indices),
+                              self.popularity.subset(indices))

@@ -21,10 +21,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from itertools import product
 
-import numpy as np
-
 from repro.core.divergence import make_metric
 from repro.core.priority import default_priority_for
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+)
 from repro.experiments.runner import RunSpec, run_policy
 from repro.network.bandwidth import make_bandwidth
 from repro.policies.cooperative import CooperativePolicy
@@ -72,47 +75,65 @@ class Fig4Point:
         return self.actual_divergence / self.ideal_divergence
 
 
-def run_fig4(config: Fig4Config = Fig4Config()) -> list[Fig4Point]:
-    """Run the grid; returns one point per (configuration, metric)."""
+def _run_fig4_cell(payload: tuple) -> list[Fig4Point]:
+    """One grid cell (all metrics, both policies), picklable for tier 1.
+
+    The workload is rebuilt from the cell's derived seed, so any process
+    -- the serial loop or a pool worker -- produces the bit-identical
+    trace and hence bit-identical points.
+    """
+    config, m, n, bs, bc, mb = payload
     points: list[Fig4Point] = []
+    seed = hash((m, n, bs, bc, mb, config.seed)) & 0x7FFFFFFF
+    wspec = WorkloadSpec.make(
+        uniform_random_walk, seed, num_sources=m, objects_per_source=n,
+        horizon=config.warmup + config.measure,
+        fluctuating_weights=True, generator=config.generator)
+    workload = build_workload(wspec)
+    spec = RunSpec(warmup=config.warmup, measure=config.measure,
+                   resample_interval=10.0)
+    for metric_name in config.metrics:
+        metric = make_metric(metric_name)
+        priority = default_priority_for(metric_name)
+        ideal = IdealCooperativePolicy(
+            make_bandwidth(bc, mb), priority,
+            source_bandwidths=[
+                make_bandwidth(bs, mb, phase=float(j))
+                for j in range(m)
+            ])
+        actual = CooperativePolicy(
+            cache_bandwidth=make_bandwidth(bc, mb),
+            source_bandwidths=[
+                make_bandwidth(bs, mb, phase=float(j))
+                for j in range(m)
+            ],
+            priority_fn=priority)
+        ideal_result = run_policy(workload, metric, ideal, spec)
+        actual_result = run_policy(workload, metric, actual, spec)
+        points.append(Fig4Point(
+            metric=metric_name, num_sources=m, objects_per_source=n,
+            source_bandwidth=bs, cache_bandwidth=bc, change_rate=mb,
+            ideal_divergence=ideal_result.weighted_divergence,
+            actual_divergence=actual_result.weighted_divergence))
+    return points
+
+
+def run_fig4(config: Fig4Config = Fig4Config(),
+             workers: int = 1) -> list[Fig4Point]:
+    """Run the grid; returns one point per (configuration, metric).
+
+    ``workers`` > 1 distributes grid cells over a process pool; the
+    result list is identical (bit for bit, cell order preserved) to the
+    serial sweep.
+    """
     grid = product(config.sources, config.objects_per_source,
                    config.source_bandwidths, config.cache_bandwidths,
                    config.change_rates)
-    for m, n, bs, bc, mb in grid:
-        if m * n > config.max_objects:
-            continue
-        seed = hash((m, n, bs, bc, mb, config.seed)) & 0x7FFFFFFF
-        rng = np.random.default_rng(seed)
-        workload = uniform_random_walk(
-            num_sources=m, objects_per_source=n,
-            horizon=config.warmup + config.measure, rng=rng,
-            fluctuating_weights=True, generator=config.generator)
-        spec = RunSpec(warmup=config.warmup, measure=config.measure,
-                       resample_interval=10.0)
-        for metric_name in config.metrics:
-            metric = make_metric(metric_name)
-            priority = default_priority_for(metric_name)
-            ideal = IdealCooperativePolicy(
-                make_bandwidth(bc, mb), priority,
-                source_bandwidths=[
-                    make_bandwidth(bs, mb, phase=float(j))
-                    for j in range(m)
-                ])
-            actual = CooperativePolicy(
-                cache_bandwidth=make_bandwidth(bc, mb),
-                source_bandwidths=[
-                    make_bandwidth(bs, mb, phase=float(j))
-                    for j in range(m)
-                ],
-                priority_fn=priority)
-            ideal_result = run_policy(workload, metric, ideal, spec)
-            actual_result = run_policy(workload, metric, actual, spec)
-            points.append(Fig4Point(
-                metric=metric_name, num_sources=m, objects_per_source=n,
-                source_bandwidth=bs, cache_bandwidth=bc, change_rate=mb,
-                ideal_divergence=ideal_result.weighted_divergence,
-                actual_divergence=actual_result.weighted_divergence))
-    return points
+    cells = [(config, m, n, bs, bc, mb)
+             for m, n, bs, bc, mb in grid
+             if m * n <= config.max_objects]
+    results = ParallelRunner(workers).map(_run_fig4_cell, cells)
+    return [point for cell_points in results for point in cell_points]
 
 
 def series_by_metric(points: list[Fig4Point]

@@ -22,10 +22,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import numpy as np
-
 from repro.core.divergence import ValueDeviation
 from repro.core.priority import AreaPriority
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+)
 from repro.experiments.runner import RunSpec, run_policy
 from repro.metrics.report import format_table
 from repro.network.bandwidth import ConstantBandwidth
@@ -55,6 +58,78 @@ class MultiCachePoint:
         return self.uniform_divergence / self.cooperative_divergence
 
 
+@dataclass(frozen=True)
+class MultiCacheCell:
+    """One picklable cache-count cell of the multicache sweep."""
+
+    num_caches: int
+    kind: str
+    replication: int
+    num_sources: int
+    objects_per_source: int
+    cache_bandwidth: float
+    source_bandwidth: float
+    hot_fraction: float
+    hot_boost: float
+    warmup: float
+    measure: float
+    seed: int
+    cache_rates: tuple[float, ...] | None
+    generator: str
+
+
+def _run_multicache_cell(cell: MultiCacheCell) -> MultiCachePoint:
+    """Worker-side cell: rebuild the seeded workload, run both policies.
+
+    The hot-shard workload is regenerated from the sweep seed (memoized
+    per process), so any process produces bit-identical points.
+    """
+    wspec = WorkloadSpec.make(
+        hotspot_shards, cell.seed, num_sources=cell.num_sources,
+        objects_per_source=cell.objects_per_source,
+        horizon=cell.warmup + cell.measure,
+        hot_fraction=cell.hot_fraction, hot_boost=cell.hot_boost,
+        generator=cell.generator)
+    workload = build_workload(wspec)
+    metric = ValueDeviation()
+    num_caches = cell.num_caches
+    if num_caches == 1:
+        config = TopologyConfig(cache_rates=cell.cache_rates)
+    else:
+        config = TopologyConfig(kind=cell.kind, num_caches=num_caches,
+                                replication=cell.replication,
+                                cache_rates=cell.cache_rates)
+    spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                   seed=cell.seed, topology=config)
+
+    def profiles():
+        return (ConstantBandwidth(cell.cache_bandwidth),
+                [ConstantBandwidth(cell.source_bandwidth)
+                 for _ in range(cell.num_sources)])
+
+    cache_bw, source_bws = profiles()
+    cooperative = run_policy(
+        workload, metric,
+        CooperativePolicy(cache_bw, source_bws,
+                          priority_fn=AreaPriority()),
+        spec)
+    cache_bw, source_bws = profiles()
+    uniform = run_policy(
+        workload, metric,
+        UniformAllocationPolicy(cache_bw, source_bws),
+        spec)
+    return MultiCachePoint(
+        num_caches=num_caches,
+        kind="star" if num_caches == 1 else cell.kind,
+        cooperative_divergence=cooperative.weighted_divergence,
+        uniform_divergence=uniform.weighted_divergence,
+        cooperative_refreshes=cooperative.refreshes,
+        uniform_refreshes=uniform.refreshes,
+        cache_queue_peak=int(
+            cooperative.extras.get("cache_queue_peak", 0)),
+    )
+
+
 def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
                    kind: str = "sharded",
                    replication: int = 2,
@@ -68,8 +143,8 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
                    measure: float = 400.0,
                    seed: int = 0,
                    cache_rates: tuple[float, ...] | None = None,
-                   generator: str = "vectorized"
-                   ) -> list[MultiCachePoint]:
+                   generator: str = "vectorized",
+                   workers: int = 1) -> list[MultiCachePoint]:
     """Sweep cache-node counts on one seeded hot-shard workload.
 
     The workload and the aggregate bandwidth are held fixed across the
@@ -79,54 +154,24 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
     heterogeneous per-cache link rates (msgs/s) instead of the even
     aggregate split; the sweep then runs the single ``len(cache_rates)``
     point, since the rates define the cache count.
+
+    ``workers`` > 1 fans the cache-count cells over a process pool;
+    every worker regenerates the same seeded workload, so the sweep is
+    bit-for-bit identical to serial.
     """
     if cache_rates is not None:
         cache_rates = tuple(float(r) for r in cache_rates)
         num_caches_list = (len(cache_rates),)
-    rng = np.random.default_rng(seed)
-    horizon = warmup + measure
-    workload = hotspot_shards(num_sources, objects_per_source, horizon,
-                              rng, hot_fraction=hot_fraction,
-                              hot_boost=hot_boost, generator=generator)
-    metric = ValueDeviation()
-    points: list[MultiCachePoint] = []
-    for num_caches in num_caches_list:
-        if num_caches == 1:
-            config = TopologyConfig(cache_rates=cache_rates)
-        else:
-            config = TopologyConfig(kind=kind, num_caches=num_caches,
-                                    replication=replication,
-                                    cache_rates=cache_rates)
-        spec = RunSpec(warmup=warmup, measure=measure, seed=seed,
-                       topology=config)
-
-        def profiles():
-            return (ConstantBandwidth(cache_bandwidth),
-                    [ConstantBandwidth(source_bandwidth)
-                     for _ in range(num_sources)])
-
-        cache_bw, source_bws = profiles()
-        cooperative = run_policy(
-            workload, metric,
-            CooperativePolicy(cache_bw, source_bws,
-                              priority_fn=AreaPriority()),
-            spec)
-        cache_bw, source_bws = profiles()
-        uniform = run_policy(
-            workload, metric,
-            UniformAllocationPolicy(cache_bw, source_bws),
-            spec)
-        points.append(MultiCachePoint(
-            num_caches=num_caches,
-            kind="star" if num_caches == 1 else kind,
-            cooperative_divergence=cooperative.weighted_divergence,
-            uniform_divergence=uniform.weighted_divergence,
-            cooperative_refreshes=cooperative.refreshes,
-            uniform_refreshes=uniform.refreshes,
-            cache_queue_peak=int(
-                cooperative.extras.get("cache_queue_peak", 0)),
-        ))
-    return points
+    cells = [MultiCacheCell(
+        num_caches=num_caches, kind=kind, replication=replication,
+        num_sources=num_sources, objects_per_source=objects_per_source,
+        cache_bandwidth=cache_bandwidth,
+        source_bandwidth=source_bandwidth,
+        hot_fraction=hot_fraction, hot_boost=hot_boost,
+        warmup=warmup, measure=measure, seed=seed,
+        cache_rates=cache_rates, generator=generator)
+        for num_caches in num_caches_list]
+    return ParallelRunner(workers).map(_run_multicache_cell, cells)
 
 
 def render_multicache(points: list[MultiCachePoint], title: str) -> str:

@@ -38,6 +38,11 @@ import numpy as np
 from repro.cache.readmodel import ReadModel, parse_read_policy
 from repro.core.divergence import DivergenceMetric, ValueDeviation
 from repro.core.priority import AreaPriority
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+)
 from repro.experiments.runner import RunSpec, build_result, make_context
 from repro.metrics.collector import ReadCollector, ReplicaDivergenceTracker
 from repro.metrics.report import RunResult, format_table
@@ -223,6 +228,89 @@ def _quorum_size(policy: str, replication: int) -> int:
     return k
 
 
+@dataclass(frozen=True)
+class ReadModelCell:
+    """One picklable (bandwidth, replication, read policy) E10 cell."""
+
+    cache_bandwidth: float
+    num_caches: int
+    replication: int  #: already clamped to num_caches
+    read_policy: str
+    read_rate: float
+    num_sources: int
+    objects_per_source: int
+    source_bandwidth: float
+    warmup: float
+    measure: float
+    seed: int
+    generator: str
+    replay: str
+
+
+#: Per-process memo of the last read trace (keyed by workload spec +
+#: read rate), mirroring the single-build workload memo: every E10 cell
+#: of one sweep shares the same seeded streams.
+_read_trace_cache: dict = {}
+
+
+def _readmodel_streams(cell: ReadModelCell):
+    """Rebuild (memoized) the sweep's shared workload and read trace."""
+    wspec = WorkloadSpec.make(
+        uniform_random_walk, cell.seed, num_sources=cell.num_sources,
+        objects_per_source=cell.objects_per_source,
+        horizon=cell.warmup + cell.measure, generator=cell.generator)
+    workload = build_workload(wspec)
+    key = (wspec, cell.read_rate)
+    read_trace = _read_trace_cache.get(key)
+    if read_trace is None:
+        read_trace = workload.read_stream(
+            RngRegistry(cell.seed).stream("read-workload"),
+            read_rate=cell.read_rate, generator=cell.generator)
+        _read_trace_cache.clear()
+        _read_trace_cache[key] = read_trace
+    return workload, read_trace
+
+
+def _run_readmodel_cell(cell: ReadModelCell) -> ReadModelPoint:
+    """Worker-side E10 cell; bit-identical in any process (seeded
+    workload/read streams are regenerated, never pickled)."""
+    workload, read_trace = _readmodel_streams(cell)
+    r = cell.replication
+    if cell.num_caches == 1:
+        config = TopologyConfig()
+    else:
+        config = TopologyConfig(kind="replicated",
+                                num_caches=cell.num_caches,
+                                replication=r)
+    spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                   seed=cell.seed, topology=config, replay=cell.replay)
+    policy = CooperativePolicy(
+        ConstantBandwidth(cell.cache_bandwidth),
+        [ConstantBandwidth(cell.source_bandwidth)
+         for _ in range(cell.num_sources)],
+        priority_fn=AreaPriority())
+    result, read_run = run_policy_with_reads(
+        workload, ValueDeviation(), policy, spec, read_trace,
+        read_policy=cell.read_policy, track_replicas=True)
+    tracker = read_run.tracker
+    stale = read_run.collector.stale_read_fraction()
+    return ReadModelPoint(
+        cache_bandwidth=cell.cache_bandwidth,
+        num_caches=cell.num_caches,
+        replication=r,
+        read_policy=cell.read_policy,
+        quorum_size=_quorum_size(cell.read_policy, r),
+        read_divergence=result.read_divergence,
+        read_divergence_unweighted=result.read_divergence_unweighted,
+        stale_read_fraction=stale,
+        copy_divergence=result.weighted_divergence,
+        replica_divergence=tracker.mean_over_replicas(),
+        reads=result.reads,
+        refreshes=result.refreshes,
+        matches_direct=read_run.matches_direct,
+    )
+
+
 def run_readmodel(num_caches: int = 3,
                   replications: tuple[int, ...] = (1, 2, 3),
                   cache_bandwidths: tuple[float, ...] = (18.0,),
@@ -234,8 +322,8 @@ def run_readmodel(num_caches: int = 3,
                   measure: float = 400.0,
                   seed: int = 0,
                   generator: str = "vectorized",
-                  replay: str = "batched"
-                  ) -> list[ReadModelPoint]:
+                  replay: str = "batched",
+                  workers: int = 1) -> list[ReadModelPoint]:
     """Sweep read policy x replication x aggregate cache bandwidth.
 
     One seeded workload and one seeded read stream are shared by every
@@ -246,16 +334,12 @@ def run_readmodel(num_caches: int = 3,
     is all a layout can hold); ``num_caches = 1`` degenerates every policy
     to the star's ``CacheStore.read``, which the harness cross-checks bit
     for bit (the ``direct`` column).
+
+    ``workers`` > 1 fans the cells over a process pool; every worker
+    regenerates the same seeded streams, so the sweep is bit-for-bit
+    identical to serial, in the same cell order.
     """
-    rng = np.random.default_rng(seed)
-    horizon = warmup + measure
-    workload = uniform_random_walk(num_sources, objects_per_source,
-                                   horizon, rng, generator=generator)
-    read_trace = workload.read_stream(
-        RngRegistry(seed).stream("read-workload"),
-        read_rate=read_rate, generator=generator)
-    metric = ValueDeviation()
-    points: list[ReadModelPoint] = []
+    cells: list[ReadModelCell] = []
     for bandwidth in cache_bandwidths:
         seen: set[int] = set()
         for replication in replications:
@@ -263,42 +347,22 @@ def run_readmodel(num_caches: int = 3,
             if r in seen:  # clamping can collapse sweep entries
                 continue
             seen.add(r)
-            if num_caches == 1:
-                config = TopologyConfig()
-            else:
-                config = TopologyConfig(kind="replicated",
-                                        num_caches=num_caches,
-                                        replication=r)
-            spec = RunSpec(warmup=warmup, measure=measure, seed=seed,
-                           topology=config, replay=replay)
             for read_policy in read_policies_for(r):
-                policy = CooperativePolicy(
-                    ConstantBandwidth(bandwidth),
-                    [ConstantBandwidth(source_bandwidth)
-                     for _ in range(num_sources)],
-                    priority_fn=AreaPriority())
-                result, read_run = run_policy_with_reads(
-                    workload, metric, policy, spec, read_trace,
-                    read_policy=read_policy, track_replicas=True)
-                tracker = read_run.tracker
-                stale = read_run.collector.stale_read_fraction()
-                points.append(ReadModelPoint(
+                cells.append(ReadModelCell(
                     cache_bandwidth=bandwidth,
                     num_caches=num_caches,
                     replication=r,
                     read_policy=read_policy,
-                    quorum_size=_quorum_size(read_policy, r),
-                    read_divergence=result.read_divergence,
-                    read_divergence_unweighted=(
-                        result.read_divergence_unweighted),
-                    stale_read_fraction=stale,
-                    copy_divergence=result.weighted_divergence,
-                    replica_divergence=tracker.mean_over_replicas(),
-                    reads=result.reads,
-                    refreshes=result.refreshes,
-                    matches_direct=read_run.matches_direct,
-                ))
-    return points
+                    read_rate=read_rate,
+                    num_sources=num_sources,
+                    objects_per_source=objects_per_source,
+                    source_bandwidth=source_bandwidth,
+                    warmup=warmup,
+                    measure=measure,
+                    seed=seed,
+                    generator=generator,
+                    replay=replay))
+    return ParallelRunner(workers).map(_run_readmodel_cell, cells)
 
 
 def quorum_monotone(points: list[ReadModelPoint]) -> bool:

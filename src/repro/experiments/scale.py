@@ -33,9 +33,16 @@ import numpy as np
 
 from repro.core.divergence import ValueDeviation
 from repro.core.priority import AreaPriority
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+    run_cooperative_sharded,
+)
 from repro.experiments.runner import RunSpec, run_policy
 from repro.metrics.report import format_table
 from repro.network.bandwidth import ConstantBandwidth
+from repro.network.topology import TopologyConfig
 from repro.policies.cooperative import CooperativePolicy
 from repro.workloads.synthetic import Workload, uniform_random_walk
 
@@ -53,6 +60,8 @@ class ScalePoint:
     gen_seconds: float = 0.0  #: wall clock of workload generation
     generator: str = "vectorized"  #: sampling implementation used
     replay: str = "batched"  #: trace replay mode used
+    workers: int = 1  #: process-pool workers used for this point
+    topology: str = "star"  #: cache layout ("star" or "sharded-N")
 
 
 def sparse_workload(num_sources: int, horizon: float,
@@ -71,6 +80,90 @@ def sparse_workload(num_sources: int, horizon: float,
         generator=generator)
 
 
+@dataclass(frozen=True)
+class ScaleCell:
+    """One picklable (m, scheduler, replay) cell of the E9 sweep."""
+
+    num_sources: int
+    scheduling: str
+    replay: str
+    update_rate: float
+    cache_bandwidth: float
+    source_bandwidth: float
+    warmup: float
+    measure: float
+    seed: int
+    generator: str
+    shard_caches: int | None = None  #: tier-2 shard count (None = star)
+    shard_workers: int = 1  #: tier-2 workers inside this cell
+
+
+def _run_scale_cell(cell: ScaleCell) -> ScalePoint:
+    """Worker-side E9 cell: regenerate the workload, run, measure.
+
+    The workload comes from a :class:`WorkloadSpec` (seed + parameters),
+    so any process produces the bit-identical trace; consecutive cells in
+    one worker sharing a spec reuse the build (gen time then shows up on
+    the first cell only).
+    """
+    wspec = WorkloadSpec.make(
+        sparse_workload, cell.seed, num_sources=cell.num_sources,
+        horizon=cell.warmup + cell.measure,
+        update_rate=cell.update_rate, generator=cell.generator)
+    metric = ValueDeviation()
+    if cell.shard_caches and cell.shard_caches > 1:
+        spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                       seed=cell.seed, replay=cell.replay,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=cell.shard_caches))
+        start = time.perf_counter()
+        result = run_cooperative_sharded(
+            wspec, metric, spec,
+            ConstantBandwidth(cell.cache_bandwidth),
+            [ConstantBandwidth(cell.source_bandwidth)
+             for _ in range(cell.num_sources)],
+            priority_fn=AreaPriority(),
+            scheduling=cell.scheduling,
+            workers=cell.shard_workers)
+        # Generation happens inside the shard workers (memoized per
+        # process) and is therefore part of the measured wall clock.
+        wall = time.perf_counter() - start
+        gen_seconds = 0.0
+        topology = f"sharded-{cell.shard_caches}"
+        workers = cell.shard_workers
+    else:
+        gen_start = time.perf_counter()
+        workload = build_workload(wspec)
+        gen_seconds = time.perf_counter() - gen_start
+        spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                       seed=cell.seed, replay=cell.replay)
+        policy = CooperativePolicy(
+            ConstantBandwidth(cell.cache_bandwidth),
+            [ConstantBandwidth(cell.source_bandwidth)
+             for _ in range(cell.num_sources)],
+            priority_fn=AreaPriority(),
+            scheduling=cell.scheduling)
+        start = time.perf_counter()
+        result = run_policy(workload, metric, policy, spec)
+        wall = time.perf_counter() - start
+        topology = "star"
+        workers = 1
+        del policy
+        gc.collect()
+    return ScalePoint(
+        num_sources=cell.num_sources,
+        scheduling=cell.scheduling,
+        wall_seconds=wall,
+        weighted_divergence=result.weighted_divergence,
+        refreshes=result.refreshes,
+        feedback_messages=result.feedback_messages,
+        gen_seconds=gen_seconds,
+        generator=cell.generator,
+        replay=cell.replay,
+        workers=workers,
+        topology=topology)
+
+
 def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
               update_rate: float = 0.002,
               cache_bandwidth: float = 8.0,
@@ -80,7 +173,9 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
               seed: int = 0,
               max_tick_sources: int = 2000,
               generator: str = "vectorized",
-              replays: tuple[str, ...] = ("batched",)) -> list[ScalePoint]:
+              replays: tuple[str, ...] = ("batched",),
+              workers: int = 1,
+              shard_caches: int | None = None) -> list[ScalePoint]:
     """Sweep source counts, timing both schedulers on identical workloads.
 
     Above ``max_tick_sources`` only the event scheduler runs (the tick
@@ -93,7 +188,40 @@ def run_scale(sources: tuple[int, ...] = (100, 1000, 10000),
     m = 10^5 the vectorized pipeline is the difference between seconds
     and minutes of setup, and the benchmark suite tracks both times
     across PRs in ``BENCH_scale.json``.
+
+    ``workers`` > 1 fans the sweep's cells over a process pool
+    (:class:`~repro.experiments.parallel.ParallelRunner`); results are
+    merged in cell order and bit-for-bit identical to the serial sweep.
+    ``shard_caches`` = N switches every point to a sharded N-cache
+    topology run shard-parallel (tier 2) with ``workers`` processes *per
+    run* -- the two tiers are not nested, so at most one pool exists.
     """
+    if shard_caches is not None and shard_caches > 1:
+        cells = [
+            ScaleCell(num_sources=m, scheduling="event", replay=replay,
+                      update_rate=update_rate,
+                      cache_bandwidth=cache_bandwidth,
+                      source_bandwidth=source_bandwidth,
+                      warmup=warmup, measure=measure, seed=seed,
+                      generator=generator, shard_caches=shard_caches,
+                      shard_workers=workers)
+            for m in sources for replay in replays
+        ]
+        return [_run_scale_cell(cell) for cell in cells]
+    if workers > 1:
+        cells = [
+            ScaleCell(num_sources=m, scheduling=scheduling, replay=replay,
+                      update_rate=update_rate,
+                      cache_bandwidth=cache_bandwidth,
+                      source_bandwidth=source_bandwidth,
+                      warmup=warmup, measure=measure, seed=seed,
+                      generator=generator)
+            for m in sources
+            for scheduling in (("tick", "event") if m <= max_tick_sources
+                               else ("event",))
+            for replay in replays
+        ]
+        return ParallelRunner(workers).map(_run_scale_cell, cells)
     points: list[ScalePoint] = []
     metric = ValueDeviation()
     for m in sources:
@@ -205,10 +333,15 @@ def replay_speedups(points: list[ScalePoint]) -> dict[int, float]:
 
 def check_equivalence(points: list[ScalePoint]) -> bool:
     """True when every (scheduler, replay) run agrees bit-for-bit at
-    every source count."""
-    by_m: dict[int, list[ScalePoint]] = {}
+    every source count.
+
+    Grouped per ``(num_sources, topology)``: a sharded point splits the
+    aggregate bandwidth across shard links, which legitimately changes
+    the measured divergence relative to the star layout.
+    """
+    by_m: dict[tuple[int, str], list[ScalePoint]] = {}
     for p in points:
-        by_m.setdefault(p.num_sources, []).append(p)
+        by_m.setdefault((p.num_sources, p.topology), []).append(p)
     for group in by_m.values():
         first = group[0]
         for p in group[1:]:

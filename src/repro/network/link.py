@@ -248,9 +248,17 @@ class Link:
         when the message was delivered immediately.
         """
         self.accrue(message.sent_at)
-        if self.queue:
-            self.drain()
-        if not self.queue and self.try_consume(message.size):
+        queue = self.queue
+        if queue:
+            # Only drain when the head could actually go out: a failed
+            # head try_consume mutates nothing, so skipping it is exact --
+            # and overloaded runs hit this branch once per queued message.
+            if self.credit >= queue[0].size:
+                self.drain()
+            if queue:
+                self.enqueue(message)
+                return False
+        if self.try_consume(message.size):
             self.total_sent += 1
             self.total_delivered += 1
             if self.deliver is not None:

@@ -371,12 +371,32 @@ class StarTopology(Topology):
     # Sending
     # ------------------------------------------------------------------
     def send_upstream(self, message: Message) -> bool:
-        """Source -> cache.  Returns False if the source link lacks credit."""
-        self._sync_source_link(message.source_id)
+        """Source -> cache.  Returns False if the source link lacks credit.
+
+        The sync/accrue/consume helpers are inlined here: every
+        update-driven source drain lands on this method, and at m ~ 1e6
+        the call overhead of the layered helpers dominates.  The float
+        operations run in the helpers' exact order, so results are
+        bit-for-bit unchanged (pinned by the equivalence suites).
+        """
         source_link = self.source_links[message.source_id]
-        source_link.accrue(message.sent_at)
-        if source_link.queue or not source_link.try_consume(message.size):
+        if source_link._lazy and source_link._synced_tick < self._tick_no:
+            source_link.sync_to_tick(self._tick_no, self._tick_time,
+                                     self._prev_tick_time, self._tick_dt)
+        now = message.sent_at
+        last = source_link._last_accrue
+        if now > last:
+            rate = source_link._const_rate
+            added = (rate * (now - last) if rate is not None
+                     else source_link.profile.capacity(last, now))
+            source_link._last_accrue = now
+            source_link.credit += added
+            source_link._tick_added += added
+        size = message.size
+        if source_link.queue or source_link.credit < size:
             return False
+        source_link.credit -= size
+        source_link.tick_used += size
         source_link.total_sent += 1
         source_link.total_delivered += 1
         self.cache_link.transmit_or_queue(message)
@@ -517,12 +537,30 @@ class MultiCacheTopology(Topology):
     # Sending
     # ------------------------------------------------------------------
     def send_upstream(self, message: Message) -> bool:
-        """Source -> assigned cache(s); source credit is charged once."""
-        self._sync_source_link(message.source_id)
+        """Source -> assigned cache(s); source credit is charged once.
+
+        Sync/accrue/consume are inlined exactly as in
+        :meth:`StarTopology.send_upstream` (same float-op order, same
+        bits) -- this is the per-update hot path.
+        """
         source_link = self.source_links[message.source_id]
-        source_link.accrue(message.sent_at)
-        if source_link.queue or not source_link.try_consume(message.size):
+        if source_link._lazy and source_link._synced_tick < self._tick_no:
+            source_link.sync_to_tick(self._tick_no, self._tick_time,
+                                     self._prev_tick_time, self._tick_dt)
+        now = message.sent_at
+        last = source_link._last_accrue
+        if now > last:
+            rate = source_link._const_rate
+            added = (rate * (now - last) if rate is not None
+                     else source_link.profile.capacity(last, now))
+            source_link._last_accrue = now
+            source_link.credit += added
+            source_link._tick_added += added
+        size = message.size
+        if source_link.queue or source_link.credit < size:
             return False
+        source_link.credit -= size
+        source_link.tick_used += size
         source_link.total_sent += 1
         source_link.total_delivered += 1
         targets = self._assignment[message.source_id]

@@ -22,6 +22,15 @@ class SimulationError(RuntimeError):
     """Raised for scheduling mistakes, e.g. scheduling into the past."""
 
 
+#: Nesting depth of :func:`gc_paused` blocks and the GC state observed by
+#: the outermost one.  Parallel workers wrap whole cell functions in
+#: ``gc_paused()`` while ``run_policy`` wraps the run inside them, so the
+#: context manager must be reentrant: only the outermost exit may restore
+#: collection (per process; worker processes each carry their own state).
+_gc_pause_depth = 0
+_gc_was_enabled = False
+
+
 @contextlib.contextmanager
 def gc_paused() -> Iterator[None]:
     """Pause the cyclic garbage collector for a bounded stretch of work.
@@ -35,13 +44,21 @@ def gc_paused() -> Iterator[None]:
     memory headroom for that scan time; the previous GC state is restored
     even on exceptions, and any cycles created meanwhile are collected on
     the first automatic pass after the block exits.
+
+    Reentrant: nested blocks are counted, and collection is re-enabled
+    only when the block that actually disabled it exits -- an inner block
+    exiting must not resume GC underneath a still-running outer block.
     """
-    was_enabled = gc.isenabled()
-    gc.disable()
+    global _gc_pause_depth, _gc_was_enabled
+    if _gc_pause_depth == 0:
+        _gc_was_enabled = gc.isenabled()
+        gc.disable()
+    _gc_pause_depth += 1
     try:
         yield
     finally:
-        if was_enabled:
+        _gc_pause_depth -= 1
+        if _gc_pause_depth == 0 and _gc_was_enabled:
             gc.enable()
 
 

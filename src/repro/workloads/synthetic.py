@@ -85,6 +85,27 @@ class Workload:
         """Owning source of a global object index (row-major layout)."""
         return int(self.owner[index])
 
+    def shard(self, sources: np.ndarray) -> "Workload":
+        """The sub-workload owned by ``sources``, relabeled ``0..k-1``.
+
+        Slices rates, trace, and weights to the given sources' objects
+        (row-major blocks), renumbering sources and objects monotonically
+        when ``sources`` is ascending -- ascending-id tie-breaks in heaps
+        and wakeup sets then keep their relative order, which is what the
+        shard-parallel ≡ serial equivalence argument relies on (DESIGN.md
+        Sec 11).
+        """
+        sources = np.asarray(sources, dtype=np.int64)
+        ops = self.objects_per_source
+        objects = (sources[:, None] * ops
+                   + np.arange(ops, dtype=np.int64)[None, :]).reshape(-1)
+        return Workload(num_sources=len(sources),
+                        objects_per_source=ops,
+                        rates=self.rates[objects],
+                        trace=self.trace.subset(objects),
+                        weights=self.weights.subset(objects),
+                        horizon=self.horizon)
+
     def read_stream(self, rng: np.random.Generator,
                     read_rate: float | np.ndarray = 1.0,
                     generator: str = "vectorized") -> ReadTrace:

@@ -63,6 +63,29 @@ class UpdateTrace:
             yield (float(self.times[k]), int(self.object_indices[k]),
                    float(self.values[k]))
 
+    def subset(self, objects: np.ndarray) -> "UpdateTrace":
+        """The sub-trace touching ``objects``, relabeled ``0..k-1``.
+
+        Object ``objects[j]`` becomes local index ``j``; events touching
+        any other object are dropped.  Event order is preserved, so for a
+        time-sorted trace the subset is time-sorted too and relative order
+        between same-timestamp events on surviving objects is unchanged --
+        which is what makes shard-parallel replay bit-identical to the
+        interleaved serial schedule (disjoint shards never interact).
+        Pass ``objects`` in ascending order to keep the relabeling
+        monotone (ascending-id tie-breaks stay ascending locally).
+        """
+        objects = np.asarray(objects, dtype=np.int64)
+        remap = np.full(self.num_objects, -1, dtype=np.int64)
+        remap[objects] = np.arange(len(objects), dtype=np.int64)
+        local = remap[self.object_indices]
+        mask = local >= 0
+        return UpdateTrace(num_objects=len(objects),
+                           times=self.times[mask],
+                           object_indices=local[mask],
+                           values=self.values[mask],
+                           initial_values=self.initial_values[objects])
+
     def updates_per_object(self) -> np.ndarray:
         """Number of updates each object receives over the whole trace."""
         return np.bincount(self.object_indices, minlength=self.num_objects)

@@ -112,6 +112,34 @@ class TestBatchedReplayApi:
         finally:
             gc.enable()
 
+    def test_gc_paused_is_reentrant(self):
+        import gc
+
+        from repro.sim.engine import gc_paused
+
+        assert gc.isenabled()
+        with gc_paused():
+            with gc_paused():
+                assert not gc.isenabled()
+            # Inner exit must not re-enable: only the outermost does.
+            assert not gc.isenabled()
+        assert gc.isenabled()
+
+    def test_gc_paused_reentrant_preserves_disabled_state(self):
+        import gc
+
+        from repro.sim.engine import gc_paused
+
+        gc.disable()
+        try:
+            with gc_paused():
+                with gc_paused():
+                    assert not gc.isenabled()
+                assert not gc.isenabled()
+            assert not gc.isenabled()  # outermost restores "was off"
+        finally:
+            gc.enable()
+
 
 class TestTickers:
     def test_ticker_fires_every_interval(self):
