@@ -5,13 +5,15 @@ re-runs the E9 m = 10^5 bench (which overwrites the file), then invokes
 this script to compare the two.  A point regresses when its end-to-end
 cost (``gen_seconds + wall_seconds``) exceeds the baseline's by more than
 ``--tolerance`` (default 20%).  Points are matched on
-``(num_sources, scheduling, replay, workers, topology)`` -- a point
-measured at a different worker count or cache layout is a *different*
-point, never compared against a serial/star baseline; points present
-on only one side are reported but never fail the check, so adding or
-retiring bench points does not break the gate.  The m = 10^6
-shard-parallel points (the payload's ``million`` section) join the
-comparison alongside the top-level points.
+``(num_sources, scheduling, replay, workers, topology, bandwidth)`` --
+a point measured at a different worker count, cache layout, or
+link-profile kind (steady vs a breakpoint trace) is a *different*
+point, never compared against a serial/star/steady baseline; points
+present on only one side are reported but never fail the check, so
+adding or retiring bench points does not break the gate.  The m = 10^6
+shard-parallel points (the payload's ``million`` section) and the E11
+trace-driven points (the ``netcond`` section) join the comparison
+alongside the top-level points.
 
 Usage::
 
@@ -29,13 +31,16 @@ import sys
 def point_key(point: dict) -> tuple:
     return (point.get("num_sources"), point.get("scheduling"),
             point.get("replay", "event"), point.get("workers", 1),
-            point.get("topology", "star"))
+            point.get("topology", "star"),
+            point.get("bandwidth", "steady"))
 
 
 def all_points(payload: dict) -> list[dict]:
-    """Top-level points plus the ``million`` section's, when present."""
+    """Top-level points plus the ``million`` and ``netcond`` sections',
+    when present."""
     return (list(payload.get("points", []))
-            + list(payload.get("million", {}).get("points", [])))
+            + list(payload.get("million", {}).get("points", []))
+            + list(payload.get("netcond", {}).get("points", [])))
 
 
 def point_total(point: dict) -> float:

@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Network conditions: watch policies ride out a diurnal cycle + outage.
+
+The paper's bandwidth knob is a smooth analytic sine; real links have
+scheduled backup windows, fiber cuts, and day/night load cycles.  This
+example builds a diurnal :class:`~repro.network.bandwidth.TraceBandwidth`
+with a hard mid-run outage, runs the adaptive cooperative policy and the
+static uniform allocation over the same seeded workload, and prints a
+divergence *timeline*: windowed weighted divergence before, during, and
+after the blackout.
+
+What to look for: both policies spike while the links are severed (no
+messages move), but the cooperative policy's feedback loop re-concentrates
+the post-outage refresh budget on the objects that drifted most, so its
+divergence comes back down faster than uniform's static split.
+
+Run:  python examples/network_conditions.py [--sources 12] [--window 25]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.core import AreaPriority, ValueDeviation
+from repro.experiments.runner import RunSpec, make_context
+from repro.metrics import format_table
+from repro.network import TraceBandwidth
+from repro.policies import CooperativePolicy, UniformAllocationPolicy
+from repro.workloads import (
+    diurnal_trace,
+    uniform_random_walk,
+    with_outages,
+)
+
+WARMUP = 100.0
+MEASURE = 500.0
+OUTAGE = (250.0, 340.0)
+
+
+def outage_profile(mean_rate: float, duration: float) -> TraceBandwidth:
+    """One diurnal cycle with a hard blackout over ``OUTAGE``."""
+    base = diurnal_trace(mean_rate, duration, num_breakpoints=60)
+    return with_outages(base, [OUTAGE])
+
+
+def divergence_timeline(policy_name: str, workload, num_sources: int,
+                        cache_bandwidth: float, source_bandwidth: float,
+                        window: float) -> list[tuple[float, float]]:
+    """Windowed weighted divergence: one (window end, average) per window.
+
+    Samples the collector's running integral on a periodic simulator
+    callback; each window's average is the integral gained over the
+    window, normalized per object.
+    """
+    duration = WARMUP + MEASURE
+    cache_bw = outage_profile(cache_bandwidth, duration)
+    source_bws = [outage_profile(source_bandwidth, duration)
+                  for _ in range(num_sources)]
+    if policy_name == "cooperative":
+        policy = CooperativePolicy(cache_bw, source_bws,
+                                   priority_fn=AreaPriority())
+    else:
+        policy = UniformAllocationPolicy(cache_bw, source_bws)
+
+    spec = RunSpec(warmup=WARMUP, measure=MEASURE)
+    ctx = make_context(workload, ValueDeviation(), spec)
+    policy.attach(ctx)
+    collector = ctx.collector
+    timeline: list[tuple[float, float]] = []
+    state = {"integral": 0.0}
+
+    def sample(now: float) -> None:
+        collector.resample(now)
+        integral = collector.total_weighted_average() * collector.duration
+        gained = integral - state["integral"]
+        state["integral"] = integral
+        if now > WARMUP:
+            timeline.append(
+                (now, gained / window / workload.num_objects))
+
+    ctx.sim.every(window, sample)
+    ctx.run(spec.end_time)
+    return timeline
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(
+        description="divergence timeline through a bandwidth outage")
+    parser.add_argument("--sources", type=int, default=12)
+    parser.add_argument("--objects", type=int, default=6,
+                        help="objects per source")
+    parser.add_argument("--cache-bandwidth", type=float, default=15.0)
+    parser.add_argument("--source-bandwidth", type=float, default=3.0)
+    parser.add_argument("--window", type=float, default=25.0,
+                        help="timeline window length (seconds)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    rng = np.random.default_rng(args.seed)
+    workload = uniform_random_walk(num_sources=args.sources,
+                                   objects_per_source=args.objects,
+                                   horizon=WARMUP + MEASURE, rng=rng)
+
+    timelines = {
+        name: dict(divergence_timeline(
+            name, workload, args.sources, args.cache_bandwidth,
+            args.source_bandwidth, args.window))
+        for name in ("cooperative", "uniform")
+    }
+    ends = sorted(timelines["cooperative"])
+    rows = []
+    for end in ends:
+        start = end - args.window
+        during = "  <-- OUTAGE" if (start < OUTAGE[1]
+                                    and end > OUTAGE[0]) else ""
+        rows.append([f"{start:6.0f}-{end:<6.0f}",
+                     timelines["cooperative"][end],
+                     timelines["uniform"][end], during])
+    print(format_table(
+        ["window", "cooperative", "uniform", ""], rows,
+        title=(f"Weighted divergence per {args.window:.0f}s window "
+               f"(outage severs all links over "
+               f"t=[{OUTAGE[0]:.0f}, {OUTAGE[1]:.0f}])")))
+
+    after = [end for end in ends if end > OUTAGE[1]]
+    recovery = after[:len(after) // 2] or after
+    coop = sum(timelines["cooperative"][e] for e in recovery)
+    unif = sum(timelines["uniform"][e] for e in recovery)
+    print(f"\npost-outage recovery divergence (first {len(recovery)} "
+          f"windows): cooperative {coop:.3f} vs uniform {unif:.3f}")
+    if coop <= unif:
+        print("adaptive feedback recovered at least as fast as the "
+              "static split, as expected")
+    else:
+        print("NOTE: uniform recovered faster on this seed; try more "
+              "sources or a longer measure window")
+
+
+if __name__ == "__main__":
+    main()

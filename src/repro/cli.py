@@ -31,6 +31,12 @@ from repro.experiments.fig4 import Fig4Config, run_fig4
 from repro.experiments.fig5 import run_fig5
 from repro.experiments.fig6 import run_fig6
 from repro.experiments.multicache import render_multicache, run_multicache
+from repro.experiments.netcond import (
+    SCENARIOS,
+    TOPOLOGIES,
+    render_netcond,
+    run_netcond,
+)
 from repro.experiments.params import best_cell, run_parameter_grid
 from repro.experiments.readmodel import render_readmodel, run_readmodel
 from repro.experiments.scale import render_scale, run_scale
@@ -148,6 +154,21 @@ def _cmd_multicache(args: argparse.Namespace) -> str:
     return render_multicache(
         points, f"Multi-cache sweep ({label}): cooperative vs "
                 "uniform allocation, hot-shard workload")
+
+
+def _cmd_netcond(args: argparse.Namespace) -> str:
+    points = run_netcond(scenarios=tuple(args.scenarios),
+                         topologies=tuple(args.topologies),
+                         num_sources=args.sources,
+                         objects_per_source=args.objects,
+                         cache_bandwidth=args.cache_bandwidth,
+                         source_bandwidth=args.source_bandwidth,
+                         warmup=args.warmup, measure=args.measure,
+                         seed=args.seed, generator=args.generator,
+                         workers=args.workers)
+    return render_netcond(
+        points, "E11 network conditions: five policies under "
+                "trace-driven bandwidth (weighted divergence)")
 
 
 def _cmd_readmodel(args: argparse.Namespace) -> str:
@@ -315,6 +336,30 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_multicache)
+
+    p = sub.add_parser("netcond",
+                       help="E11 network-condition matrix: five policies "
+                            "under steady/diurnal/bursty/outage traces")
+    p.add_argument("--scenarios", choices=list(SCENARIOS), nargs="+",
+                   default=list(SCENARIOS),
+                   help="bandwidth scenarios to run")
+    p.add_argument("--topologies", choices=list(TOPOLOGIES), nargs="+",
+                   default=list(TOPOLOGIES),
+                   help="cache layouts to run")
+    p.add_argument("--sources", type=int, default=16)
+    p.add_argument("--objects", type=int, default=8,
+                   help="objects per source")
+    p.add_argument("--cache-bandwidth", type=float, default=20.0,
+                   help="mean aggregate cache-side msgs/s (the scenario "
+                        "trace fluctuates around it)")
+    p.add_argument("--source-bandwidth", type=float, default=4.0,
+                   help="mean per-source msgs/s")
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload sampling implementation")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
+    p.set_defaults(fn=_cmd_netcond)
 
     p = sub.add_parser("readmodel",
                        help="replicated read model: quorum/any-replica "

@@ -12,6 +12,15 @@ from repro.experiments.multicache import (
     render_multicache,
     run_multicache,
 )
+from repro.experiments.netcond import (
+    NetCondPoint,
+    graceful_degradation,
+    outage_degrades,
+    render_netcond,
+    run_netcond,
+    run_netcond_scale,
+    steady_matches_constant,
+)
 from repro.experiments.overhead import (
     OverheadPoint,
     predicted_overhead_fraction,
@@ -51,6 +60,7 @@ __all__ = [
     "Fig5Point",
     "Fig6Point",
     "MultiCachePoint",
+    "NetCondPoint",
     "OverheadPoint",
     "ParameterCell",
     "ReadModelPoint",
@@ -59,6 +69,8 @@ __all__ = [
     "ValidationRow",
     "best_cell",
     "freshest_equals_full_quorum",
+    "graceful_degradation",
+    "outage_degrades",
     "quorum_monotone",
     "read_policies_for",
     "render_readmodel",
@@ -69,14 +81,18 @@ __all__ = [
     "run_fig6",
     "predicted_overhead_fraction",
     "render_multicache",
+    "render_netcond",
     "render_scale",
     "run_multicache",
+    "run_netcond",
+    "run_netcond_scale",
     "run_overhead_scaling",
     "run_parameter_grid",
     "run_policy",
     "run_scale",
     "run_size_sweep",
     "speedups",
+    "steady_matches_constant",
     "run_skewed_validation",
     "run_uniform_validation",
     "series_by_metric",

@@ -1,0 +1,339 @@
+"""Network-condition experiment (E11): policies under fluctuating links.
+
+The paper models bandwidth fluctuation only through the analytic ``mB``
+sine knob; real links see diurnal load cycles, congestion bursts and
+outages.  With the segment-indexed :class:`TraceBandwidth` fast path,
+piecewise profiles run on the same event-driven machinery as constant
+ones, so this experiment can ask the question the paper never could: how
+do the five policies degrade when bandwidth itself fluctuates?
+
+The matrix is {steady, diurnal, bursty, outage} (see
+:func:`repro.workloads.bandwidth_traces.scenario_profile`) x
+{star, sharded-4} x all five policies, on one seeded random-walk
+workload.  Three structural verdicts are checked:
+
+1. **steady trace == constant**: the flat trace is the control arm; the
+   cooperative policy must reproduce the ``ConstantBandwidth`` run bit
+   for bit (the split factors are dyadic, so even the sharded layout's
+   per-link share arithmetic is exact either way).
+2. **outage degrades every policy**: severing the links for 15% of the
+   run can only raise divergence relative to steady.
+3. **graceful degradation**: the feedback-driven cooperative policy's
+   outage/steady divergence ratio stays at or below static uniform
+   allocation's -- adaptivity re-concentrates the post-outage budget on
+   the objects that drifted, uniform cannot.
+"""
+
+from __future__ import annotations
+
+import gc
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.core.weights import StaticWeights
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+)
+from repro.experiments.runner import RunSpec, run_policy
+from repro.metrics.report import format_table
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.topology import TopologyConfig
+from repro.policies.cache_driven import CGMPollingPolicy
+from repro.policies.competitive import CompetitivePolicy
+from repro.policies.cooperative import CooperativePolicy
+from repro.policies.ideal import IdealCooperativePolicy
+from repro.policies.uniform import UniformAllocationPolicy
+from repro.workloads.bandwidth_traces import SCENARIOS, scenario_profile
+from repro.workloads.synthetic import uniform_random_walk
+
+POLICIES = ("cooperative", "uniform", "competitive", "cgm", "ideal")
+TOPOLOGIES = ("star", "sharded-4")
+
+
+@dataclass
+class NetCondPoint:
+    """All five policies at one (scenario, topology) grid cell."""
+
+    scenario: str
+    topology: str  #: "star" or "sharded-4"
+    divergence: dict[str, float] = field(default_factory=dict)
+    refreshes: dict[str, int] = field(default_factory=dict)
+    #: cooperative divergence under plain ``ConstantBandwidth`` profiles;
+    #: measured on steady cells only (the bitwise control arm).
+    constant_control: float | None = None
+
+
+@dataclass(frozen=True)
+class NetCondCell:
+    """One picklable (scenario, topology) cell of the E11 matrix."""
+
+    scenario: str
+    topology: str
+    num_sources: int
+    objects_per_source: int
+    cache_bandwidth: float
+    source_bandwidth: float
+    warmup: float
+    measure: float
+    seed: int
+    generator: str
+
+
+def _profiles(cell: NetCondCell):
+    """Fresh scenario-shaped profiles (per policy -- links consume them).
+
+    The cache link carries the scenario's condition; each source link
+    carries the same kind of condition seeded per source, so bursty
+    cells get heterogeneous per-source congestion walks.
+    """
+    duration = cell.warmup + cell.measure
+    cache = scenario_profile(cell.scenario, cell.cache_bandwidth,
+                             duration, seed=cell.seed)
+    sources = [scenario_profile(cell.scenario, cell.source_bandwidth,
+                                duration, seed=cell.seed + 1 + j)
+               for j in range(cell.num_sources)]
+    return cache, sources
+
+
+def _make_policy(name: str, cache_bw, source_bws, num_objects: int):
+    if name == "cooperative":
+        return CooperativePolicy(cache_bw, source_bws,
+                                 priority_fn=AreaPriority())
+    if name == "uniform":
+        return UniformAllocationPolicy(cache_bw, source_bws)
+    if name == "competitive":
+        return CompetitivePolicy(
+            cache_bw, source_bws, priority_fn=AreaPriority(),
+            source_weights=StaticWeights.uniform(num_objects), psi=0.25)
+    if name == "cgm":
+        return CGMPollingPolicy(cache_bw, variant="cgm2")
+    if name == "ideal":
+        return IdealCooperativePolicy(cache_bw, AreaPriority(),
+                                      source_bandwidths=source_bws)
+    raise ValueError(f"unknown policy {name!r}")
+
+
+def _run_netcond_cell(cell: NetCondCell) -> NetCondPoint:
+    """Worker-side cell: one seeded workload through all five policies."""
+    wspec = WorkloadSpec.make(
+        uniform_random_walk, cell.seed, num_sources=cell.num_sources,
+        objects_per_source=cell.objects_per_source,
+        horizon=cell.warmup + cell.measure, generator=cell.generator)
+    workload = build_workload(wspec)
+    metric = ValueDeviation()
+    topology = (None if cell.topology == "star"
+                else TopologyConfig(kind="sharded", num_caches=4))
+    spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                   seed=cell.seed, topology=topology)
+    point = NetCondPoint(scenario=cell.scenario, topology=cell.topology)
+    for name in POLICIES:
+        cache_bw, source_bws = _profiles(cell)
+        result = run_policy(
+            workload, metric,
+            _make_policy(name, cache_bw, source_bws,
+                         workload.num_objects),
+            spec)
+        point.divergence[name] = result.weighted_divergence
+        point.refreshes[name] = result.refreshes
+    if cell.scenario == "steady":
+        control = run_policy(
+            workload, metric,
+            _make_policy("cooperative",
+                         ConstantBandwidth(cell.cache_bandwidth),
+                         [ConstantBandwidth(cell.source_bandwidth)
+                          for _ in range(cell.num_sources)],
+                         workload.num_objects),
+            spec)
+        point.constant_control = control.weighted_divergence
+    return point
+
+
+def run_netcond(scenarios: tuple[str, ...] = SCENARIOS,
+                topologies: tuple[str, ...] = TOPOLOGIES,
+                num_sources: int = 16,
+                objects_per_source: int = 8,
+                cache_bandwidth: float = 20.0,
+                source_bandwidth: float = 4.0,
+                warmup: float = 100.0,
+                measure: float = 400.0,
+                seed: int = 0,
+                generator: str = "vectorized",
+                workers: int = 1) -> list[NetCondPoint]:
+    """Run the E11 scenario x topology matrix on one seeded workload.
+
+    The workload is identical across the matrix; only the bandwidth
+    traces change, so divergence differences are pure network-condition
+    effects.  ``workers`` > 1 fans the cells over a process pool with
+    bit-identical results (every worker regenerates the same seeded
+    workload and traces).
+    """
+    for topology in topologies:
+        if topology not in TOPOLOGIES:
+            raise ValueError(f"unknown topology {topology!r}")
+    cells = [NetCondCell(
+        scenario=scenario, topology=topology, num_sources=num_sources,
+        objects_per_source=objects_per_source,
+        cache_bandwidth=cache_bandwidth,
+        source_bandwidth=source_bandwidth, warmup=warmup,
+        measure=measure, seed=seed, generator=generator)
+        for scenario in scenarios for topology in topologies]
+    return ParallelRunner(workers).map(_run_netcond_cell, cells)
+
+
+def run_netcond_scale(num_sources: int = 100_000,
+                      update_rate: float = 0.002,
+                      cache_bandwidth: float = 8.0,
+                      source_bandwidth: float = 1.0,
+                      warmup: float = 100.0,
+                      measure: float = 500.0,
+                      seed: int = 0,
+                      num_breakpoints: int = 1000,
+                      generator: str = "vectorized"):
+    """E9-style sparse run, trace-driven vs constant bandwidth.
+
+    One m-source sparse workload, two event-mode cooperative runs: plain
+    ``ConstantBandwidth`` links, then a ``num_breakpoints``-segment
+    diurnal :class:`TraceBandwidth` with the same mean on the cache link
+    and one *shared* diurnal trace instance across every source link
+    (the trace is read-only during a run -- its only mutable state is a
+    segment-index lookup cache -- so sharing keeps the m = 10^5 point at
+    one cumulative array instead of 10^5).  Returns the two
+    :class:`~repro.experiments.scale.ScalePoint`\\ s, labeled via their
+    ``bandwidth`` field so the BENCH regression checker keys them apart;
+    the trace point's wall clock is the O(log segments) acceptance
+    number (must stay within 2x the constant wall).
+    """
+    from repro.experiments.scale import ScalePoint, sparse_workload
+    from repro.workloads.bandwidth_traces import diurnal_trace
+
+    duration = warmup + measure
+    rng = np.random.default_rng(seed)
+    gen_start = time.perf_counter()
+    workload = sparse_workload(num_sources, duration, rng,
+                               update_rate=update_rate,
+                               generator=generator)
+    gen_seconds = time.perf_counter() - gen_start
+    metric = ValueDeviation()
+    spec = RunSpec(warmup=warmup, measure=measure, seed=seed)
+    points = []
+    for bandwidth in ("steady", f"diurnal-{num_breakpoints}"):
+        if bandwidth == "steady":
+            cache_bw = ConstantBandwidth(cache_bandwidth)
+            source_bws = [ConstantBandwidth(source_bandwidth)
+                          for _ in range(num_sources)]
+        else:
+            cache_bw = diurnal_trace(cache_bandwidth, duration,
+                                     num_breakpoints)
+            shared = diurnal_trace(source_bandwidth, duration,
+                                   num_breakpoints)
+            source_bws = [shared] * num_sources
+        policy = CooperativePolicy(cache_bw, source_bws,
+                                   priority_fn=AreaPriority())
+        start = time.perf_counter()
+        result = run_policy(workload, metric, policy, spec)
+        wall = time.perf_counter() - start
+        points.append(ScalePoint(
+            num_sources=num_sources, scheduling="event",
+            wall_seconds=wall,
+            weighted_divergence=result.weighted_divergence,
+            refreshes=result.refreshes,
+            feedback_messages=result.feedback_messages,
+            gen_seconds=gen_seconds, generator=generator,
+            bandwidth=bandwidth))
+        del policy, result
+        gc.collect()
+    return points
+
+
+# ----------------------------------------------------------------------
+# Structural verdicts
+# ----------------------------------------------------------------------
+def _by_cell(points: list[NetCondPoint]) -> dict[tuple[str, str],
+                                                 NetCondPoint]:
+    return {(p.scenario, p.topology): p for p in points}
+
+
+def steady_matches_constant(points: list[NetCondPoint]) -> bool:
+    """True when every steady trace reproduced its constant control arm
+    bit for bit (the fast path changed nothing on flat profiles)."""
+    steady = [p for p in points if p.scenario == "steady"]
+    return bool(steady) and all(
+        p.constant_control is not None
+        and p.divergence["cooperative"] == p.constant_control
+        for p in steady)
+
+
+def outage_degrades(points: list[NetCondPoint]) -> bool:
+    """True when the outage scenario's divergence is at least the steady
+    scenario's for every policy on every topology both were run on."""
+    cells = _by_cell(points)
+    checked = 0
+    for (scenario, topology), out in cells.items():
+        if scenario != "outage":
+            continue
+        steady = cells.get(("steady", topology))
+        if steady is None:
+            continue
+        checked += 1
+        for name in out.divergence:
+            if out.divergence[name] < steady.divergence.get(name, 0.0):
+                return False
+    return checked > 0
+
+
+def _degradation_ratio(outage: float, steady: float) -> float:
+    """Outage/steady divergence ratio, defined at a zero baseline (a
+    tiny matrix can drive steady divergence to exactly 0)."""
+    if steady > 0.0:
+        return outage / steady
+    return float("inf") if outage > 0.0 else 1.0
+
+
+def graceful_degradation(points: list[NetCondPoint]) -> bool:
+    """True when cooperative's outage/steady divergence ratio is at most
+    uniform allocation's on every topology (adaptive feedback recovers
+    from the blackout at least as gracefully as the static split)."""
+    cells = _by_cell(points)
+    checked = 0
+    for (scenario, topology), out in cells.items():
+        if scenario != "outage":
+            continue
+        steady = cells.get(("steady", topology))
+        if steady is None:
+            continue
+        coop = _degradation_ratio(out.divergence["cooperative"],
+                                  steady.divergence["cooperative"])
+        unif = _degradation_ratio(out.divergence["uniform"],
+                                  steady.divergence["uniform"])
+        checked += 1
+        if coop > unif:
+            return False
+    return checked > 0
+
+
+def render_netcond(points: list[NetCondPoint], title: str) -> str:
+    """The matrix as a table plus the three structural verdict lines."""
+    rows = [
+        [p.scenario, p.topology]
+        + [p.divergence.get(name, float("nan")) for name in POLICIES]
+        for p in points
+    ]
+    table = format_table(["scenario", "layout", *POLICIES], rows,
+                         title=title)
+    verdicts = [
+        ("steady trace == constant bandwidth (cooperative, bitwise): "
+         + ("yes" if steady_matches_constant(points)
+            else "WARNING: diverged")),
+        ("outage degrades every policy vs steady: "
+         + ("yes" if outage_degrades(points) else "WARNING: violated")),
+        ("cooperative degrades no worse than uniform under outage: "
+         + ("yes" if graceful_degradation(points)
+            else "WARNING: violated")),
+    ]
+    return "\n".join([table, *verdicts])

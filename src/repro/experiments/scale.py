@@ -62,6 +62,8 @@ class ScalePoint:
     replay: str = "batched"  #: trace replay mode used
     workers: int = 1  #: process-pool workers used for this point
     topology: str = "star"  #: cache layout ("star" or "sharded-N")
+    bandwidth: str = "steady"  #: link-profile kind ("steady" or a trace
+    #: label like "diurnal-1000"; see experiments.netcond)
 
 
 def sparse_workload(num_sources: int, horizon: float,

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from abc import ABC, abstractmethod
+from bisect import bisect_left, bisect_right
 
 import numpy as np
 
@@ -48,6 +49,15 @@ class BandwidthProfile(ABC):
         Time-varying profiles return ``None`` and keep eager refills.
         """
         return None
+
+    def scaled(self, factor: float) -> "BandwidthProfile":
+        """This profile multiplied by a constant factor.
+
+        The default wraps in :class:`ScaledBandwidth`; profiles with
+        precomputed internal state (:class:`TraceBandwidth`) override it
+        to rebuild that state so composition stays on their fast paths.
+        """
+        return ScaledBandwidth(self, factor)
 
 
 class ConstantBandwidth(BandwidthProfile):
@@ -149,9 +159,25 @@ class TraceBandwidth(BandwidthProfile):
     from a measured trace.  ``rate(t)`` holds each value from its
     breakpoint until the next; before the first breakpoint the first value
     applies, after the last breakpoint the last value applies.
+
+    Construction precomputes the cumulative capacity at every breakpoint,
+    so ``capacity(t0, t1)`` is two segment lookups plus a linear
+    interpolation -- O(log segments) -- instead of a per-call Python loop
+    over the spanned breakpoints.  Scalar lookups additionally cache the
+    last segment hit: accruals and refills walk forward through time, so
+    the common case resolves without any search at all.
+
+    ``horizon`` (optional) declares how long the trace is meant to run;
+    :attr:`mean_rate` then averages over ``[times[0], horizon]`` so the
+    trailing segment carries its real weight (policies size static
+    budgets off this number).  Without a horizon the trailing rate is
+    given one mean breakpoint spacing of weight -- the last value applies
+    forever, so giving it *zero* weight (as a naive span-weighted mean
+    over the breakpoints would) misbudgets any trace that ends on a
+    recovery or an outage.
     """
 
-    def __init__(self, times, rates) -> None:
+    def __init__(self, times, rates, horizon: float | None = None) -> None:
         self.times = np.asarray(times, dtype=float)
         self.rates = np.asarray(rates, dtype=float)
         if self.times.ndim != 1 or self.times.shape != self.rates.shape:
@@ -162,45 +188,160 @@ class TraceBandwidth(BandwidthProfile):
             raise ValueError("breakpoint times must be strictly increasing")
         if (self.rates < 0).any():
             raise ValueError("rates must be nonnegative")
+        self.horizon = None if horizon is None else float(horizon)
+        if self.horizon is not None and self.horizon <= self.times[0]:
+            raise ValueError(
+                f"horizon {self.horizon} must lie beyond the first "
+                f"breakpoint {float(self.times[0])}")
+        # Cumulative capacity earned at each breakpoint (relative to
+        # times[0]); segment i contributes rates[i] * (times[i+1] -
+        # times[i]).  The trailing segment extends to +inf at rates[-1].
+        spans = np.diff(self.times)
+        self._cum = np.concatenate(
+            [[0.0], np.cumsum(self.rates[:-1] * spans)])
+        # Python-native mirrors for the scalar hot path: bisect on a list
+        # beats np.searchsorted on scalars by ~10x, and per-tick accruals
+        # are all scalar calls.
+        self._times_list: list[float] = self.times.tolist()
+        self._rates_list: list[float] = self.rates.tolist()
+        self._cum_list: list[float] = self._cum.tolist()
+        self._seg = 0  # cached segment index for monotone call patterns
+        # Lazy-sync jump memos (see Link._sync_trace): furthest segment
+        # the cap-pinned saturation chain reaches from each starting
+        # segment (valid for one tick length), and the end of the
+        # zero-rate run from each segment (tick-length independent).
+        # Shared across every link driven by this trace.
+        self._jump_memo: dict[int, int] = {}
+        self._jump_memo_dt: float | None = None
+        self._zero_memo: dict[int, int] = {}
+        # A flat trace degenerates to a constant profile; precompute the
+        # verdict so steady_rate stays O(1) when topologies probe every
+        # link (one np.all over the rates here instead of per probe).
+        self._steady: float | None = float(self.rates[0]) \
+            if len(self.rates) == 1 or bool(np.all(self.rates == self.rates[0])) \
+            else None
+
+    def _segment(self, t: float) -> int:
+        """Index of the segment containing ``t`` (clamped to 0).
+
+        Checks the cached segment and its successor first -- accruals
+        move forward in small steps, so nearly every call resolves
+        without a search -- then falls back to a bisect bounded to the
+        side of the cache the target lies on.
+        """
+        times = self._times_list
+        i = self._seg
+        if times[i] <= t:
+            if i + 1 == len(times) or t < times[i + 1]:
+                return i
+            if i + 2 == len(times) or t < times[i + 2]:
+                self._seg = i + 1
+                return i + 1
+            i = bisect_right(times, t, lo=i + 2) - 1
+        else:
+            i = max(0, bisect_right(times, t, hi=i) - 1)
+        self._seg = i
+        return i
 
     def rate(self, t: float) -> float:
-        index = int(np.searchsorted(self.times, t, side="right")) - 1
-        index = max(0, index)
-        return float(self.rates[index])
+        return self._rates_list[self._segment(t)]
+
+    def _cumulative(self, t: float) -> float:
+        """Capacity earned in ``[times[0], t]`` (negative before it)."""
+        i = self._segment(t)
+        return self._cum_list[i] \
+            + self._rates_list[i] * (t - self._times_list[i])
 
     def capacity(self, t0: float, t1: float) -> float:
         if t1 <= t0:
             return 0.0
-        # Integrate the step function across the breakpoints in [t0, t1].
-        cuts = self.times[(self.times > t0) & (self.times < t1)]
-        edges = np.concatenate([[t0], cuts, [t1]])
-        total = 0.0
-        for lo, hi in zip(edges[:-1], edges[1:]):
-            total += self.rate(lo) * (hi - lo)
-        return total
+        i0 = self._segment(t0)
+        i1 = self._segment(t1)
+        if i0 == i1:
+            # Within one segment the integral is a single product -- the
+            # expression ConstantBandwidth.capacity uses, so a flat trace
+            # is bit-identical to a constant profile on every accrual.
+            return self._rates_list[i0] * (t1 - t0)
+        c0 = self._cum_list[i0] \
+            + self._rates_list[i0] * (t0 - self._times_list[i0])
+        c1 = self._cum_list[i1] \
+            + self._rates_list[i1] * (t1 - self._times_list[i1])
+        return c1 - c0
+
+    def first_time_at_capacity(self, t0: float,
+                               needed: float) -> float | None:
+        """Earliest ``t`` with ``capacity(t0, t) >= needed``.
+
+        Bisection on the precomputed cumulative array (O(log segments)).
+        Returns ``None`` when the trace can never earn ``needed`` more
+        capacity after ``t0`` (a trailing rate of zero); callers park the
+        waiter instead of polling.  The continuous-time answer: callers
+        that need a *tick* use :func:`ticks_until_capacity`, which folds
+        in a one-tick safety margin for float drift between this solve
+        and the per-tick accrual chain.
+        """
+        if needed <= 0.0:
+            return t0
+        target = self._cumulative(t0) + needed
+        cum = self._cum_list
+        if target > cum[-1]:
+            trailing = self._rates_list[-1]
+            if trailing <= 0.0:
+                return None
+            return self._times_list[-1] + (target - cum[-1]) / trailing
+        # Smallest j with cum[j] >= target: the crossing lies inside
+        # segment j-1, whose rate must be positive for its cum to grow
+        # (j = 0 only when the target sits in the leading extension
+        # before times[0], which requires a positive rates[0] too).
+        j = max(1, bisect_left(cum, target))
+        rate = self._rates_list[j - 1]
+        return self._times_list[j - 1] + (target - cum[j - 1]) / rate
 
     @property
     def mean_rate(self) -> float:
-        if len(self.rates) == 1:
-            return float(self.rates[0])
-        spans = np.diff(self.times)
-        weighted = float(np.sum(self.rates[:-1] * spans))
-        return weighted / float(self.times[-1] - self.times[0])
+        if self._steady is not None:
+            return self._steady
+        if self.horizon is not None:
+            return self.mean_rate_over(float(self.times[0]), self.horizon)
+        # No declared horizon: give the trailing (forever) rate one mean
+        # breakpoint spacing of weight instead of none.
+        span = float(self.times[-1] - self.times[0])
+        tail = span / (len(self.times) - 1)
+        return self.mean_rate_over(float(self.times[0]),
+                                   float(self.times[-1]) + tail)
+
+    def mean_rate_over(self, t0: float, t1: float) -> float:
+        """Span-weighted average rate over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        return self.capacity(t0, t1) / (t1 - t0)
 
     @property
     def steady_rate(self) -> float | None:
-        if len(self.rates) == 1 or bool(np.all(self.rates == self.rates[0])):
-            return float(self.rates[0])
-        return None
+        return self._steady
+
+    def scaled(self, factor: float) -> "TraceBandwidth":
+        """A rescaled trace with its own precomputed arrays.
+
+        Splitting a trace across cache links must not demote it to the
+        generic :class:`ScaledBandwidth` wrapper, which would lose the
+        cumulative array and the lazy-link eligibility that comes with
+        the concrete type.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor must be >= 0, got {factor}")
+        return TraceBandwidth(self.times, self.rates * factor,
+                              horizon=self.horizon)
 
     @classmethod
     def with_outage(cls, rate: float, outage_start: float,
-                    outage_end: float) -> "TraceBandwidth":
+                    outage_end: float,
+                    horizon: float | None = None) -> "TraceBandwidth":
         """A constant-rate link with one total outage window."""
         if outage_end <= outage_start:
             raise ValueError("outage must have positive duration")
         return cls(times=[0.0, outage_start, outage_end],
-                   rates=[rate, 0.0, rate])
+                   rates=[rate, 0.0, rate], horizon=horizon)
 
     def __repr__(self) -> str:
         return (f"TraceBandwidth({len(self.times)} breakpoints, "
@@ -247,12 +388,15 @@ def split_bandwidth(profile: BandwidthProfile,
 
     A single share returns the original profile unscaled, so one-cache
     multi-cache layouts reproduce the star's arithmetic bit for bit.
+    Scaling goes through :meth:`BandwidthProfile.scaled`, so trace
+    profiles keep their concrete type (and their precomputed cumulative
+    arrays) across the split instead of degrading to a wrapper.
     """
     if shares < 1:
         raise ValueError(f"need at least one share, got {shares}")
     if shares == 1:
         return [profile]
-    return [ScaledBandwidth(profile, 1.0 / shares) for _ in range(shares)]
+    return [profile.scaled(1.0 / shares) for _ in range(shares)]
 
 
 def replay_credit_ticks(credit: float, earned: float, cap: float,
@@ -292,6 +436,47 @@ def ticks_until_credit(credit: float, earned: float, cap: float,
         credit = new_credit
         ticks += 1
     return ticks
+
+
+def ticks_until_capacity(profile: BandwidthProfile, t0: float, dt: float,
+                         needed: float) -> int | None:
+    """Conservative ticks until ``profile`` earns ``needed`` more credit.
+
+    The blocked-sender prediction for piecewise profiles: a source whose
+    *link* ran out of credit used to re-arm every tick until the bucket
+    refilled.  While a link's credit sits below one message, its per-tick
+    refill cap ``max(1, tick_capacity) + tick_capacity`` never binds, so
+    the credit trajectory is the plain cumulative-capacity sum and the
+    crossing tick can be solved on the trace's cumulative array instead
+    of polled for.
+
+    The answer is *conservative* (never late, possibly one tick early):
+    exact future tick boundaries are the ticker's float-accumulation
+    chain, which cannot be reproduced ahead of time in O(1), so the
+    continuous-time crossing is rounded down by one tick and the caller
+    re-verifies on wake (re-arming if still short).  Early wakes are
+    behavior-neutral -- the send still happens on the exact tick the
+    eager schedule would have chosen -- which is what keeps lazy and
+    eager runs bit-for-bit identical.
+
+    Returns ``>= 1`` always; ``None`` means the profile can never earn
+    ``needed`` (trailing rate zero), so the caller should park rather
+    than poll.  Profiles without a cumulative solve fall back to 1 (the
+    next-tick retry the caller used unconditionally before).
+    """
+    scale = 1.0
+    while isinstance(profile, ScaledBandwidth):
+        scale *= profile.factor
+        profile = profile.base
+    if not isinstance(profile, TraceBandwidth):
+        return 1
+    if scale <= 0.0:
+        return None if needed > 0.0 else 1
+    crossing = profile.first_time_at_capacity(t0, needed / scale)
+    if crossing is None:
+        return None
+    ticks = math.ceil((crossing - t0) / dt) - 1
+    return max(1, ticks)
 
 
 def make_bandwidth(mean: float, max_change_rate: float = 0.0,

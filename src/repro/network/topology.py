@@ -83,6 +83,11 @@ class Topology(ABC):
         # sim-start (0.0) + dt, so its timestamp *is* dt.  Lazy links need
         # it to reproduce the ticker's boundary accumulation bit for bit.
         self._tick_dt = 0.0
+        # Every tick's timestamp, indexed by tick number (entry 0 is the
+        # simulation start).  Lazy links on piecewise profiles need the
+        # true boundary floats to replay skipped refills and to bisect
+        # their saturation jumps; ~8 bytes per tick, independent of m.
+        self._tick_boundaries: list[float] = [0.0]
         self._lazy_enabled = True
         # Scratch message reused by send_downstream_batch: feedback carries
         # no per-message payload beyond its routing fields, so the batch
@@ -98,8 +103,12 @@ class Topology(ABC):
     def _classify_links(self) -> None:
         eager: list[Link] = []
         for link in self.source_links:
-            rate = link.profile.steady_rate
-            link.lazy = self._lazy_enabled and rate is not None
+            # Steady profiles replay lazily in closed form; non-steady
+            # trace profiles replay by segment walk (Link._sync_trace).
+            # Anything else (sine) must stay eager.
+            link.lazy = self._lazy_enabled and (
+                link.profile.steady_rate is not None
+                or link._trace is not None)
             if not link.lazy:
                 eager.append(link)
         self._eager_source_links = eager
@@ -119,7 +128,8 @@ class Topology(ABC):
         link = self.source_links[source_id]
         if link.lazy and link._synced_tick < self._tick_no:
             link.sync_to_tick(self._tick_no, self._tick_time,
-                              self._prev_tick_time, self._tick_dt)
+                              self._prev_tick_time, self._tick_dt,
+                              self._tick_boundaries)
 
     # ------------------------------------------------------------------
     # Shape
@@ -198,6 +208,7 @@ class Topology(ABC):
         self._prev_tick_time = self._tick_time
         self._tick_no += 1
         self._tick_time = now
+        self._tick_boundaries.append(now)
         if self._tick_no == 1:
             self._tick_dt = now
         for link in self._eager_source_links:
@@ -382,7 +393,8 @@ class StarTopology(Topology):
         source_link = self.source_links[message.source_id]
         if source_link._lazy and source_link._synced_tick < self._tick_no:
             source_link.sync_to_tick(self._tick_no, self._tick_time,
-                                     self._prev_tick_time, self._tick_dt)
+                                     self._prev_tick_time, self._tick_dt,
+                                     self._tick_boundaries)
         now = message.sent_at
         last = source_link._last_accrue
         if now > last:
@@ -546,7 +558,8 @@ class MultiCacheTopology(Topology):
         source_link = self.source_links[message.source_id]
         if source_link._lazy and source_link._synced_tick < self._tick_no:
             source_link.sync_to_tick(self._tick_no, self._tick_time,
-                                     self._prev_tick_time, self._tick_dt)
+                                     self._prev_tick_time, self._tick_dt,
+                                     self._tick_boundaries)
         now = message.sent_at
         last = source_link._last_accrue
         if now > last:

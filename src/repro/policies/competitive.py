@@ -36,7 +36,11 @@ from repro.core.priority import PriorityFunction
 from repro.core.tracking import PriorityTracker
 from repro.core.weights import WeightModel
 from repro.metrics.collector import DivergenceCollector
-from repro.network.bandwidth import replay_credit_ticks, ticks_until_credit
+from repro.network.bandwidth import (
+    replay_credit_ticks,
+    ticks_until_capacity,
+    ticks_until_credit,
+)
 from repro.policies.base import SimulationContext
 from repro.policies.cooperative import CooperativePolicy
 from repro.sim.events import Phase, WakeupSet
@@ -172,7 +176,7 @@ class CompetitivePolicy(CooperativePolicy):
             self._own_replay_accrual(j)
             blocked = self._own_send_while_credit(j, now)
             if blocked:
-                self._own_wakeups.arm(j, self._own_tick_no + 1)
+                self._own_arm_blocked(j, now)
             elif len(self._own_trackers[j]):
                 self._own_arm_crossing(j)
 
@@ -213,6 +217,24 @@ class CompetitivePolicy(CooperativePolicy):
             self._own_credit[j] -= 1.0
             self.own_refreshes_sent += 1
         return False
+
+    def _own_arm_blocked(self, j: int, now: float) -> None:
+        """Re-arm a source whose *link* is dry mid own-priority send.
+
+        Same contract as the uniform policy's ``_arm_blocked``: steady
+        links retry next tick; trace links solve the crossing tick on the
+        profile's cumulative capacity array (conservative -- never late,
+        at most one tick early, re-verified at wake).  ``None`` parks the
+        source, exactly like the retry loop's forever-failing sends.
+        """
+        link = self.topology.source_links[j]
+        ticks = 1
+        if link._trace is not None:
+            ticks = ticks_until_capacity(link.profile, now, self._ctx.dt,
+                                         1.0 - link.credit)
+            if ticks is None:
+                return
+        self._own_wakeups.arm(j, self._own_tick_no + ticks)
 
     def _own_arm_crossing(self, j: int) -> None:
         """Arm source ``j`` at the tick its own-credit next reaches 1.0."""

@@ -22,6 +22,7 @@ from repro.cache.store import CacheStore
 from repro.network.bandwidth import (
     BandwidthProfile,
     replay_credit_ticks,
+    ticks_until_capacity,
     ticks_until_credit,
 )
 from repro.network.messages import RefreshMessage
@@ -156,7 +157,7 @@ class UniformAllocationPolicy(SyncPolicy):
             self._replay_accrual(j, ctx.dt)
             blocked = self._send_while_credit(j, now)
             if blocked:
-                self._wakeups.arm(j, self._tick_no + 1)
+                self._arm_blocked(j, now)
             else:
                 self._arm_crossing(j)
 
@@ -193,6 +194,28 @@ class UniformAllocationPolicy(SyncPolicy):
             self._credit[j] -= 1.0
             self._sent += 1
         return False
+
+    def _arm_blocked(self, j: int, now: float) -> None:
+        """Re-arm a source whose *link* (not its token bucket) is dry.
+
+        Steady links retry next tick, as before.  On a trace link the
+        blocked spell can span a whole outage; the crossing tick is
+        solved on the profile's cumulative array instead of polled for.
+        The prediction is conservative (never late, at most one tick
+        early), so the eventual send lands on exactly the tick the
+        per-tick retry loop would have chosen; an early wake just finds
+        the link still dry and re-arms.  ``None`` -- the link can never
+        afford another message -- parks the source, which the retry loop
+        would have done too, one failed send per tick at a time.
+        """
+        link = self.topology.source_links[j]
+        ticks = 1
+        if link._trace is not None:
+            ticks = ticks_until_capacity(link.profile, now, self._ctx.dt,
+                                         1.0 - link.credit)
+            if ticks is None:
+                return
+        self._wakeups.arm(j, self._tick_no + ticks)
 
     def _arm_crossing(self, j: int) -> None:
         """Arm source ``j`` at the tick its credit next reaches 1.0.

@@ -1,5 +1,16 @@
 """Workload generation: update processes, traces, synthetic & buoy data."""
 
+from repro.workloads.bandwidth_traces import (
+    SCENARIOS,
+    diurnal_trace,
+    heterogeneous_traces,
+    random_walk_rates,
+    random_walk_rates_batch,
+    random_walk_trace,
+    scenario_profile,
+    with_bursts,
+    with_outages,
+)
 from repro.workloads.buoy import (
     buoy_workload,
     generate_buoy_trace,
@@ -36,14 +47,17 @@ __all__ = [
     "GENERATORS",
     "ReadReplayer",
     "ReadTrace",
+    "SCENARIOS",
     "TraceReplayer",
     "UpdateTrace",
     "Workload",
     "bernoulli_tick_times",
     "bernoulli_tick_times_batch",
     "buoy_workload",
+    "diurnal_trace",
     "expected_walk_deviation",
     "generate_buoy_trace",
+    "heterogeneous_traces",
     "hotspot_shards",
     "load_buoy_trace",
     "merge_event_streams",
@@ -51,8 +65,14 @@ __all__ = [
     "uniform_reads",
     "poisson_times",
     "poisson_times_batch",
+    "random_walk_rates",
+    "random_walk_rates_batch",
+    "random_walk_trace",
     "random_walk_values",
     "random_walk_values_batch",
+    "scenario_profile",
     "skewed_validation",
     "uniform_random_walk",
+    "with_bursts",
+    "with_outages",
 ]

@@ -127,6 +127,35 @@ class TestScaleCommand:
             build_parser().parse_args(["scale", "--generator", "turbo"])
 
 
+class TestNetCondCommand:
+    def test_netcond_defaults(self):
+        args = build_parser().parse_args(["netcond"])
+        assert args.scenarios == ["steady", "diurnal", "bursty",
+                                  "outage"]
+        assert args.topologies == ["star", "sharded-4"]
+        assert args.sources == 16
+        assert args.cache_bandwidth == 20.0
+
+    def test_netcond_tiny_run(self, capsys):
+        assert main(["netcond", "--scenarios", "steady", "outage",
+                     "--topologies", "star",
+                     "--sources", "6", "--objects", "3",
+                     "--warmup", "20", "--measure", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "E11 network conditions" in out
+        assert ("steady trace == constant bandwidth (cooperative, "
+                "bitwise): yes") in out
+        assert "outage degrades every policy vs steady: yes" in out
+
+    def test_netcond_rejects_unknown_scenario(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netcond", "--scenarios", "foggy"])
+
+    def test_netcond_rejects_unknown_topology(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["netcond", "--topologies", "mesh"])
+
+
 class TestReadModelCommand:
     def test_readmodel_defaults(self):
         args = build_parser().parse_args(["readmodel"])

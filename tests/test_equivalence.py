@@ -29,7 +29,11 @@ from repro.core.priority import AreaPriority
 from repro.core.weights import StaticWeights
 from repro.experiments.readmodel import run_policy_with_reads
 from repro.experiments.runner import RunSpec, run_policy
-from repro.network.bandwidth import ConstantBandwidth, SineBandwidth
+from repro.network.bandwidth import (
+    ConstantBandwidth,
+    SineBandwidth,
+    TraceBandwidth,
+)
 from repro.network.topology import TopologyConfig
 from repro.policies.cache_driven import CGMPollingPolicy
 from repro.policies.competitive import CompetitivePolicy
@@ -37,6 +41,10 @@ from repro.policies.cooperative import CooperativePolicy
 from repro.policies.ideal import IdealCooperativePolicy
 from repro.policies.uniform import UniformAllocationPolicy
 from repro.sim.random import RngRegistry
+from repro.workloads.bandwidth_traces import (
+    diurnal_trace,
+    heterogeneous_traces,
+)
 from repro.workloads.buoy import buoy_workload
 from repro.workloads.synthetic import uniform_random_walk
 
@@ -245,6 +253,111 @@ class TestCacheDrivenEquivalence:
             lambda mode: CGMPollingPolicy(cache_profile(),
                                           scheduling=mode),
             workload, spec)
+
+
+def trace_cache_profile():
+    return diurnal_trace(20.0, HORIZON, num_breakpoints=40)
+
+
+def trace_source_profiles():
+    return heterogeneous_traces(M_SOURCES, 4.0, HORIZON, seed=3,
+                                kind="diurnal")
+
+
+def make_trace_policy(name, mode):
+    """One of the five policies on fresh non-steady trace profiles."""
+    cache_bw = trace_cache_profile()
+    source_bws = trace_source_profiles()
+    if name == "cooperative":
+        return CooperativePolicy(cache_bw, source_bws,
+                                 priority_fn=AreaPriority(),
+                                 scheduling=mode)
+    if name == "uniform":
+        return UniformAllocationPolicy(cache_bw, source_bws,
+                                       scheduling=mode)
+    if name == "competitive":
+        return CompetitivePolicy(
+            cache_bw, source_bws, priority_fn=AreaPriority(),
+            source_weights=StaticWeights.uniform(
+                M_SOURCES * N_PER_SOURCE),
+            psi=0.25, scheduling=mode)
+    if name == "cgm":
+        return CGMPollingPolicy(cache_bw, variant="cgm2",
+                                scheduling=mode)
+    return IdealCooperativePolicy(cache_bw, AreaPriority(),
+                                  source_bandwidths=source_bws,
+                                  scheduling=mode)
+
+
+class TestTraceProfileEquivalence:
+    """Piecewise (trace) bandwidth on every link: the lazy segment-walk
+    replay must keep the event schedule bit-for-bit against the tick
+    scan for all five policies -- the tentpole exactness claim of the
+    trace fast path."""
+
+    TRACE_TOPOLOGIES = [
+        pytest.param(None, id="star"),
+        pytest.param(TopologyConfig(kind="sharded", num_caches=4),
+                     id="sharded-4"),
+    ]
+
+    @pytest.mark.parametrize("topology", TRACE_TOPOLOGIES)
+    @pytest.mark.parametrize(
+        "policy", ["cooperative", "uniform", "competitive", "cgm",
+                   "ideal"])
+    def test_diurnal_traces(self, policy, topology):
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC, topology=topology)
+        assert_equivalent(
+            lambda mode: make_trace_policy(policy, mode),
+            workload, spec)
+
+    @pytest.mark.parametrize("policy", ["cooperative", "uniform"])
+    def test_outage_traces(self, policy):
+        """A mid-run blackout exercises the zero-rate run jump and the
+        park/re-arm path of the blocked-sender prediction."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+
+        def make(mode):
+            cache_bw = TraceBandwidth.with_outage(
+                20.0, 80.0, 110.0, horizon=HORIZON)
+            source_bws = [TraceBandwidth.with_outage(
+                4.0, 80.0, 110.0, horizon=HORIZON)
+                for _ in range(M_SOURCES)]
+            if policy == "cooperative":
+                return CooperativePolicy(cache_bw, source_bws,
+                                         priority_fn=AreaPriority(),
+                                         scheduling=mode)
+            return UniformAllocationPolicy(cache_bw, source_bws,
+                                           scheduling=mode)
+
+        assert_equivalent(make, workload, spec)
+
+    def test_steady_trace_matches_constant_run(self):
+        """All-equal-rate traces must take the steady lazy path and
+        reproduce the ConstantBandwidth run bit for bit."""
+        workload = fig4_workload()
+        spec = RunSpec(**SPEC)
+
+        def run(profiles):
+            cache_bw, source_bws = profiles()
+            result = run_policy(
+                workload, ValueDeviation(),
+                CooperativePolicy(cache_bw, source_bws,
+                                  priority_fn=AreaPriority()),
+                spec)
+            return (result.weighted_divergence, result.refreshes,
+                    result.feedback_messages)
+
+        constant = run(lambda: (ConstantBandwidth(20.0),
+                                [ConstantBandwidth(4.0)
+                                 for _ in range(M_SOURCES)]))
+        flat = run(lambda: (
+            TraceBandwidth(times=[0.0, 50.0], rates=[20.0, 20.0]),
+            [TraceBandwidth(times=[0.0, 50.0], rates=[4.0, 4.0])
+             for _ in range(M_SOURCES)]))
+        assert constant == flat
 
 
 class TestIdealEquivalence:

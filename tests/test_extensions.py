@@ -45,8 +45,16 @@ class TestTraceBandwidth:
     def test_mean_rate(self):
         profile = TraceBandwidth(times=[0.0, 10.0, 30.0],
                                  rates=[6.0, 3.0, 99.0])
-        # Mean over the defined span [0, 30]: (6*10 + 3*20) / 30 = 4.
-        assert profile.mean_rate == pytest.approx(4.0)
+        # The trailing rate applies forever, so it must carry weight.
+        # Without a horizon it gets one mean breakpoint spacing (15):
+        # (6*10 + 3*20 + 99*15) / 45.
+        assert profile.mean_rate == pytest.approx(1605.0 / 45.0)
+
+    def test_mean_rate_with_horizon(self):
+        profile = TraceBandwidth(times=[0.0, 10.0, 30.0],
+                                 rates=[6.0, 3.0, 99.0], horizon=40.0)
+        assert profile.mean_rate == pytest.approx(
+            (6.0 * 10 + 3.0 * 20 + 99.0 * 10) / 40.0)
 
     def test_with_outage(self):
         profile = TraceBandwidth.with_outage(8.0, 10.0, 15.0)

@@ -1,8 +1,13 @@
 """Tests for the credit-bucket link with FIFO overflow queue."""
 
+import numpy as np
 import pytest
 
-from repro.network.bandwidth import ConstantBandwidth, SineBandwidth
+from repro.network.bandwidth import (
+    ConstantBandwidth,
+    SineBandwidth,
+    TraceBandwidth,
+)
 from repro.network.link import Link
 from repro.network.messages import FeedbackMessage
 
@@ -318,3 +323,142 @@ class TestLazySync:
         message = FeedbackMessage(source_id=0, sent_at=1.0)
         link.enqueue(message)
         assert queued == [message]
+
+
+def _diurnal(mean, duration, segments, amplitude=0.6):
+    times = np.linspace(0.0, duration, segments, endpoint=False)
+    rates = mean * (1.0 + amplitude * np.sin(2 * np.pi * times / duration))
+    return TraceBandwidth(times=times, rates=rates)
+
+
+class TestLazyTraceSync:
+    """Trace-profile lazy replay: the segment-indexed fast path must be
+    bit-for-bit against the eager per-tick chain through saturation
+    jumps, partial jumps at barrier segments (rate more than doubling),
+    and zero-rate outage runs."""
+
+    TRACES = {
+        # Segments (0.6 ticks) shorter than dt: every tick straddles a
+        # breakpoint, so only the cross-segment jump can skip anything.
+        "diurnal-dense": lambda: _diurnal(1.0, 120.0, 200),
+        "diurnal-coarse": lambda: _diurnal(2.5, 120.0, 12),
+        # Sharp alternations: every transition is a barrier (the earned
+        # capacity more than doubles), forcing explicit replay there.
+        "sawtooth": lambda: TraceBandwidth(
+            times=[0.0, 17.0, 31.0, 54.0, 80.0],
+            rates=[0.2, 5.0, 0.1, 8.0, 0.3]),
+        # A mid-run blackout: the zero-rate run fixpoint jump.
+        "outage": lambda: TraceBandwidth.with_outage(3.0, 40.0, 85.0),
+        # Trickle rates saturate the one-message floor cap immediately.
+        "trickle": lambda: _diurnal(0.05, 120.0, 60),
+    }
+
+    @staticmethod
+    def boundaries(ticks, dt=1.0):
+        """The ticker's float-accumulation chain, index = tick number."""
+        chain = [0.0]
+        for _ in range(ticks):
+            chain.append(chain[-1] + dt)
+        return chain
+
+    def run_pair(self, make_trace, checkpoints, consume_at=(),
+                 pass_boundaries=True):
+        eager = Link("eager", make_trace())
+        lazy = Link("lazy", make_trace())
+        ticks = max(checkpoints)
+        chain = self.boundaries(ticks)
+        consume_at = set(consume_at)
+        checkpoint_set = set(checkpoints)
+        synced = 0
+        for tick in range(1, ticks + 1):
+            eager.refill(chain[tick])
+            if tick in checkpoint_set:
+                lazy.sync_to_tick(tick, chain[tick], chain[tick - 1], 1.0,
+                                  chain if pass_boundaries else None)
+                synced = tick
+                assert lazy.credit == eager.credit, f"tick {tick}"
+                assert lazy.tick_capacity == eager.tick_capacity
+                assert lazy._synced_tick == synced
+            if tick in consume_at:
+                send_at = chain[tick] + 0.37
+                for link in (eager, lazy):
+                    link.accrue(send_at)
+                    link.try_consume(1.0)
+                assert lazy.credit == eager.credit
+        return eager, lazy
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_sparse_sync_matches_eager(self, name):
+        """Long idle gaps between syncs: jumps must land on the eager
+        floats at every checkpoint."""
+        self.run_pair(self.TRACES[name],
+                      checkpoints=[3, 40, 41, 95, 150, 151, 290])
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_every_tick_sync_matches_eager(self, name):
+        """Degenerate case: syncing every tick is the eager chain."""
+        self.run_pair(self.TRACES[name], checkpoints=range(1, 60))
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_consumes_between_syncs_stay_exact(self, name):
+        """Sends drain credit below the cap mid-gap; the next replay must
+        track the eager chain from that exact float."""
+        self.run_pair(self.TRACES[name],
+                      checkpoints=[5, 30, 31, 70, 130, 200],
+                      consume_at=[5, 30, 70, 130])
+
+    @pytest.mark.parametrize("name", sorted(TRACES))
+    def test_without_boundaries_replays_exactly(self, name):
+        """No recorded boundary chain: per-tick replay, still exact
+        because the synthesized chain is the same float accumulation."""
+        self.run_pair(self.TRACES[name], checkpoints=[7, 50, 120],
+                      pass_boundaries=False)
+
+    def test_random_checkpoints_fuzz(self):
+        rng = np.random.default_rng(5)
+        for name, make_trace in sorted(self.TRACES.items()):
+            ticks = 400
+            checkpoints = sorted(set(
+                rng.integers(1, ticks, size=25).tolist()) | {ticks})
+            consume_at = set(
+                rng.choice(checkpoints, size=8, replace=False).tolist())
+            self.run_pair(make_trace, checkpoints, consume_at)
+
+    def test_shared_trace_instance_across_links(self):
+        """Many links sharing one trace (the m = 10^5 layout) must not
+        interfere through the shared segment cache and jump memos."""
+        trace = _diurnal(1.0, 120.0, 200)
+        eagers = [Link(f"e{i}", _diurnal(1.0, 120.0, 200))
+                  for i in range(3)]
+        lazies = [Link(f"l{i}", trace) for i in range(3)]
+        chain = self.boundaries(300)
+        schedules = [[50, 170, 300], [51, 290, 300], [120, 121, 300]]
+        for tick in range(1, 301):
+            for eager in eagers:
+                eager.refill(chain[tick])
+            for lazy, schedule in zip(lazies, schedules):
+                if tick in schedule:
+                    lazy.sync_to_tick(tick, chain[tick], chain[tick - 1],
+                                      1.0, chain)
+        for eager, lazy in zip(eagers, lazies):
+            assert lazy.credit == eager.credit
+            assert lazy.tick_capacity == eager.tick_capacity
+
+    def test_trace_profile_accepts_lazy(self):
+        link = Link("trace", _diurnal(1.0, 60.0, 20))
+        link.lazy = True
+        assert link.lazy
+
+    def test_flat_trace_takes_steady_path(self):
+        """An all-equal-rate trace reports a steady rate and uses the
+        constant closed-form jump, bit-identical to ConstantBandwidth."""
+        flat = TraceBandwidth(times=[0.0, 30.0], rates=[2.5, 2.5])
+        eager = Link("eager", ConstantBandwidth(2.5))
+        lazy = Link("lazy", flat)
+        assert lazy._trace is None  # routed to the steady sync
+        chain = self.boundaries(200)
+        for tick in range(1, 201):
+            eager.refill(chain[tick])
+        lazy.sync_to_tick(200, chain[200], chain[199], 1.0, chain)
+        assert lazy.credit == eager.credit
+        assert lazy.tick_capacity == eager.tick_capacity

@@ -1,0 +1,112 @@
+"""Tests for the E11 network-condition experiment."""
+
+import pytest
+
+from repro.experiments.netcond import (
+    POLICIES,
+    NetCondPoint,
+    graceful_degradation,
+    outage_degrades,
+    render_netcond,
+    run_netcond,
+    run_netcond_scale,
+    steady_matches_constant,
+)
+
+SMALL = dict(num_sources=6, objects_per_source=3, warmup=30.0,
+             measure=90.0)
+
+
+@pytest.fixture(scope="module")
+def small_matrix():
+    return run_netcond(scenarios=("steady", "outage"),
+                       topologies=("star",), **SMALL)
+
+
+class TestRunNetCond:
+    def test_matrix_shape(self, small_matrix):
+        assert len(small_matrix) == 2
+        cells = {(p.scenario, p.topology) for p in small_matrix}
+        assert cells == {("steady", "star"), ("outage", "star")}
+        for point in small_matrix:
+            assert set(point.divergence) == set(POLICIES)
+            assert all(d >= 0.0 for d in point.divergence.values())
+
+    def test_steady_cell_carries_constant_control(self, small_matrix):
+        by_scenario = {p.scenario: p for p in small_matrix}
+        assert by_scenario["steady"].constant_control is not None
+        assert by_scenario["outage"].constant_control is None
+
+    def test_steady_trace_is_bitwise_control(self, small_matrix):
+        assert steady_matches_constant(small_matrix)
+
+    def test_outage_degrades(self, small_matrix):
+        assert outage_degrades(small_matrix)
+
+    def test_workers_bit_identical(self):
+        serial = run_netcond(scenarios=("steady",),
+                             topologies=("star", "sharded-4"),
+                             workers=1, **SMALL)
+        parallel = run_netcond(scenarios=("steady",),
+                               topologies=("star", "sharded-4"),
+                               workers=2, **SMALL)
+        assert serial == parallel
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            run_netcond(topologies=("ring",), **SMALL)
+
+    def test_render(self, small_matrix):
+        text = render_netcond(small_matrix, title="E11 test")
+        assert "E11 test" in text
+        assert "steady" in text and "outage" in text
+        for name in POLICIES:
+            assert name in text
+        assert "outage degrades every policy" in text
+
+
+class TestVerdictHelpers:
+    @staticmethod
+    def point(scenario, topology="star", coop=1.0, unif=1.0,
+              control=None):
+        return NetCondPoint(
+            scenario=scenario, topology=topology,
+            divergence={"cooperative": coop, "uniform": unif},
+            refreshes={"cooperative": 10, "uniform": 10},
+            constant_control=control)
+
+    def test_steady_matches_requires_exact_control(self):
+        good = [self.point("steady", coop=0.5, control=0.5)]
+        bad = [self.point("steady", coop=0.5, control=0.5 + 1e-12)]
+        assert steady_matches_constant(good)
+        assert not steady_matches_constant(bad)
+        assert not steady_matches_constant([])
+
+    def test_outage_degrades_needs_a_pair(self):
+        steady = self.point("steady", coop=0.4, unif=0.5)
+        worse = self.point("outage", coop=0.8, unif=1.0)
+        better = self.point("outage", coop=0.2, unif=1.0)
+        assert outage_degrades([steady, worse])
+        assert not outage_degrades([steady, better])
+        assert not outage_degrades([steady])  # no outage cell measured
+
+    def test_graceful_degradation_compares_ratios(self):
+        steady = self.point("steady", coop=0.4, unif=0.4)
+        graceful = self.point("outage", coop=0.6, unif=0.8)
+        harsh = self.point("outage", coop=0.9, unif=0.8)
+        assert graceful_degradation([steady, graceful])
+        assert not graceful_degradation([steady, harsh])
+        assert not graceful_degradation([steady])
+
+
+class TestRunNetCondScale:
+    def test_small_scale_pair(self):
+        points = run_netcond_scale(num_sources=64, warmup=20.0,
+                                   measure=60.0, num_breakpoints=16)
+        assert [p.bandwidth for p in points] == ["steady", "diurnal-16"]
+        for point in points:
+            assert point.scheduling == "event"
+            assert point.num_sources == 64
+            assert point.wall_seconds > 0.0
+        # Both arms replay the identical workload.
+        assert points[0].gen_seconds == points[1].gen_seconds
