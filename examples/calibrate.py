@@ -9,12 +9,21 @@ searches that space -- ~50 seeded trials on one fixed workload -- and
 ranks the settings by weighted divergence, breaking ties by messages
 sent.
 
+With ``--scenario`` the same search runs under a fault plan (see
+``repro faults``) and additionally tunes the robustness dials: the
+reliable-delivery retransmit timeout/backoff/attempt budget and the
+feedback staleness TTL.  The first trial is always the plain policy
+under the same faults, so the table shows what the robustness machinery
+buys.  Fault trials run on a sparse-update workload -- the regime where
+loss actually hurts and the retry knobs have something to trade.
+
 Every trial is an independent seeded simulation, so the search is
 embarrassingly parallel: trials fan out over a
 :class:`~repro.experiments.parallel.ParallelRunner` process pool and the
 ranking is bit-identical at any worker count.
 
 Run:  python examples/calibrate.py [--trials 50] [--workers N]
+      python examples/calibrate.py --scenario lossy-10
 """
 
 import argparse
@@ -30,10 +39,15 @@ from repro.experiments.parallel import (
     build_workload,
     default_workers,
 )
+from repro.faults.plan import FAULT_SCENARIOS, fault_scenario
+from repro.faults.retry import RetryPolicy
 from repro.metrics import format_table
 from repro.network import ConstantBandwidth
 from repro.policies import CooperativePolicy
 from repro.workloads import uniform_random_walk
+
+#: Per-object update-rate cap for fault-scenario trials (sparse regime).
+FAULT_RATE_CAP = 0.1
 
 
 @dataclass(frozen=True)
@@ -50,6 +64,14 @@ class Trial:
     warmup: float
     measure: float
     seed: int
+    #: fault scenario the trial runs under ("none" = clean network)
+    scenario: str = "none"
+    #: reliable-delivery knobs; timeout None = best-effort, no retries
+    retry_timeout: float | None = None
+    retry_backoff: float = 2.0
+    retry_attempts: int = 3
+    #: feedback staleness TTL; None = thresholds never decay
+    feedback_ttl: float | None = None
 
 
 def run_trial(trial: Trial) -> tuple[float, int, Trial]:
@@ -58,11 +80,12 @@ def run_trial(trial: Trial) -> tuple[float, int, Trial]:
     Returns ``(weighted divergence, messages sent, trial)``; the workload
     is regenerated from the seed (memoized per process), never pickled.
     """
-    wspec = WorkloadSpec.make(
-        uniform_random_walk, trial.seed,
-        num_sources=trial.num_sources,
-        objects_per_source=trial.objects_per_source,
-        horizon=trial.warmup + trial.measure)
+    kwargs = dict(num_sources=trial.num_sources,
+                  objects_per_source=trial.objects_per_source,
+                  horizon=trial.warmup + trial.measure)
+    if trial.scenario != "none":
+        kwargs["rate_range"] = (0.0, FAULT_RATE_CAP)
+    wspec = WorkloadSpec.make(uniform_random_walk, trial.seed, **kwargs)
     workload = build_workload(wspec)
     policy = CooperativePolicy(
         ConstantBandwidth(trial.cache_bandwidth),
@@ -71,20 +94,35 @@ def run_trial(trial: Trial) -> tuple[float, int, Trial]:
         priority_fn=AreaPriority(),
         feedback_period=trial.feedback_period,
         batch_size=trial.batch_size,
-        batch_timeout=trial.batch_timeout)
+        batch_timeout=trial.batch_timeout,
+        feedback_ttl=trial.feedback_ttl)
+    plan = fault_scenario(trial.scenario, trial.warmup, trial.measure,
+                          seed=trial.seed)
+    retry = (None if trial.retry_timeout is None
+             else RetryPolicy(timeout=trial.retry_timeout,
+                              backoff=trial.retry_backoff,
+                              max_attempts=trial.retry_attempts))
     spec = RunSpec(warmup=trial.warmup, measure=trial.measure,
-                   seed=trial.seed)
+                   seed=trial.seed,
+                   faults=None if plan.is_empty() else plan,
+                   retry=retry)
     result = run_policy(workload, ValueDeviation(), policy, spec)
     return result.weighted_divergence, result.messages_total, trial
 
 
-def sample_trials(num_trials: int, seed: int) -> list[Trial]:
-    """Seeded random search: log-uniform periods, small integer batches."""
+def sample_trials(num_trials: int, seed: int,
+                  scenario: str = "none") -> list[Trial]:
+    """Seeded random search: log-uniform periods, small integer batches.
+
+    Under a fault scenario the robustness dials join the search space;
+    the clean-network search leaves them at their inert defaults so the
+    two spaces stay comparable trial for trial.
+    """
     rng = np.random.default_rng(seed)
     trials = []
     for i in range(num_trials):
-        # Reserve the first trial for the adaptive-period, no-batching
-        # baseline so the table always shows what tuning buys.
+        # Reserve the first trial for the adaptive-period, no-batching,
+        # no-retry baseline so the table always shows what tuning buys.
         if i == 0:
             period, size, timeout = None, 1, 5.0
         else:
@@ -92,11 +130,22 @@ def sample_trials(num_trials: int, seed: int) -> list[Trial]:
                                                np.log10(200.0)))
             size = int(rng.integers(1, 9))
             timeout = float(rng.uniform(0.5, 10.0))
+        retry_timeout = None
+        retry_backoff, retry_attempts, ttl = 2.0, 3, None
+        if scenario != "none" and i > 0:
+            retry_timeout = float(10.0 ** rng.uniform(0.0, np.log10(20.0)))
+            retry_backoff = float(rng.uniform(1.0, 3.0))
+            retry_attempts = int(rng.integers(2, 7))
+            ttl = float(10.0 ** rng.uniform(np.log10(5.0),
+                                            np.log10(200.0)))
         trials.append(Trial(
             feedback_period=period, batch_size=size, batch_timeout=timeout,
             num_sources=10, objects_per_source=10,
             cache_bandwidth=20.0, source_bandwidth=6.0,
-            warmup=100.0, measure=400.0, seed=seed))
+            warmup=100.0, measure=400.0, seed=seed,
+            scenario=scenario, retry_timeout=retry_timeout,
+            retry_backoff=retry_backoff, retry_attempts=retry_attempts,
+            feedback_ttl=ttl))
     return trials
 
 
@@ -105,37 +154,61 @@ def main(argv: list[str] | None = None) -> None:
     parser.add_argument("--trials", type=int, default=50)
     parser.add_argument("--workers", type=int, default=default_workers())
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scenario", choices=list(FAULT_SCENARIOS),
+                        default="none",
+                        help="fault plan to run every trial under; also "
+                             "tunes retry/backoff/TTL knobs")
     parser.add_argument("--top", type=int, default=10,
                         help="rows to show in the ranking table")
     args = parser.parse_args(argv)
 
-    trials = sample_trials(args.trials, args.seed)
+    trials = sample_trials(args.trials, args.seed, scenario=args.scenario)
     results = ParallelRunner(args.workers).map(run_trial, trials)
     # Rank by divergence, then messages: prefer the cheaper of two
     # equally-fresh settings.  Index breaks exact ties deterministically.
     order = sorted(range(len(results)),
                    key=lambda i: (results[i][0], results[i][1], i))
 
+    fault_run = args.scenario != "none"
+    headers = ["rank", "feedback s", "batch", "timeout s"]
+    if fault_run:
+        headers += ["retry s", "tries", "ttl s"]
+    headers += ["divergence", "messages"]
     rows = []
     for rank, i in enumerate(order[:args.top], start=1):
         divergence, messages, trial = results[i]
         period = ("adaptive" if trial.feedback_period is None
                   else f"{trial.feedback_period:.1f}")
-        rows.append([rank, period, trial.batch_size,
-                     f"{trial.batch_timeout:.1f}", f"{divergence:.5f}",
-                     messages])
-    print(format_table(
-        ["rank", "feedback s", "batch", "timeout s", "divergence",
-         "messages"],
-        rows,
-        title=f"Random-search calibration: {args.trials} trials, "
-              f"{args.workers} workers"))
+        row = [rank, period, trial.batch_size,
+               f"{trial.batch_timeout:.1f}"]
+        if fault_run:
+            row += ["off" if trial.retry_timeout is None
+                    else f"{trial.retry_timeout:.1f}",
+                    "-" if trial.retry_timeout is None
+                    else trial.retry_attempts,
+                    "off" if trial.feedback_ttl is None
+                    else f"{trial.feedback_ttl:.0f}"]
+        row += [f"{divergence:.5f}", messages]
+        rows.append(row)
+    title = (f"Random-search calibration: {args.trials} trials, "
+             f"{args.workers} workers")
+    if fault_run:
+        title += f", scenario {args.scenario}"
+    print(format_table(headers, rows, title=title))
     best = results[order[0]][2]
     period = ("adaptive" if best.feedback_period is None
               else f"{best.feedback_period:.1f}")
-    print(f"\nbest: feedback_period={period} "
-          f"batch_size={best.batch_size} "
-          f"batch_timeout={best.batch_timeout:.1f}")
+    line = (f"\nbest: feedback_period={period} "
+            f"batch_size={best.batch_size} "
+            f"batch_timeout={best.batch_timeout:.1f}")
+    if fault_run:
+        line += (" retry=off" if best.retry_timeout is None else
+                 f" retry_timeout={best.retry_timeout:.1f} "
+                 f"retry_backoff={best.retry_backoff:.1f} "
+                 f"retry_attempts={best.retry_attempts}")
+        line += ("" if best.feedback_ttl is None
+                 else f" feedback_ttl={best.feedback_ttl:.0f}")
+    print(line)
 
 
 if __name__ == "__main__":

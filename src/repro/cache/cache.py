@@ -63,7 +63,9 @@ class CacheNode:
         #: so an event-driven policy can arm this cache's per-tick wakeup
         #: (deliveries can re-create feedback work on a parked cache)
         self.activity_hook: Callable[[float], None] | None = None
+        self.crashes = 0
         topology.set_cache_receiver(self.on_message, cache_id=cache_id)
+        topology.add_crash_listener(cache_id, self.on_crash)
 
     def set_poll_handler(
             self, handler: Callable[[PollResponse, float], None]) -> None:
@@ -157,6 +159,47 @@ class CacheNode:
             self.stale_discards += 1
             return True
         return False
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    def on_crash(self, now: float) -> None:
+        """Cold-restart this cache node (fault injection).
+
+        Everything *learned* is lost -- the feedback controller's
+        threshold records and the store's applied snapshots -- while the
+        measurement machinery stays exact: each solely-cached object's
+        truth view reverts to its initial (count-0) value *as a
+        divergence event at* ``now``, because the cached copy really did
+        jump back to the seed value the restarted process re-primes
+        from.  Replicated objects are left alone: their logical cached
+        copy is the freshest *surviving* replica, and per-replica
+        crash accounting is out of scope for the fault model (E12 runs
+        star and sharded layouts only).
+        """
+        self.crashes += 1
+        if self.feedback is not None:
+            self.feedback.reset()
+        if self.store is not None:
+            initial = self.store.initial_values
+            topology = self.topology
+            # replicated sources excluded: surviving replicas keep the copy
+            mine = {source_id
+                    for source_id in topology.sources_of(self.cache_id)
+                    if len(topology.caches_of(source_id)) == 1}
+            for obj in self.objects:
+                if obj.source_id not in mine:
+                    continue
+                obj.apply_refresh(now, float(initial[obj.index]), 0,
+                                  self.metric)
+                if self.collector is not None:
+                    self.collector.record(obj.index, now,
+                                          obj.truth.divergence)
+            self.store.reset()
+        if self.activity_hook is not None:
+            # A parked event-mode cache must wake: the restart re-created
+            # feedback work (every threshold is unknown-infinite again).
+            self.activity_hook(now)
 
     # ------------------------------------------------------------------
     # Per-tick work (CACHE phase)

@@ -72,6 +72,24 @@ class FeedbackController:
         heapq.heapify(self._heap)
         self._eligible = len(self.source_ids)
 
+    def reset(self) -> None:
+        """Cold restart: forget every learned threshold (crash recovery).
+
+        All sources revert to the unknown-infinite state, exactly as at
+        construction, which re-bootstraps the protocol: the recovered
+        cache first pays feedback to everyone, then rebuilds its records
+        from the thresholds piggybacked on the refreshes that triggers.
+        Versions keep advancing (never reset) so heap entries drained
+        before the crash stay stale.
+        """
+        n = len(self.source_ids)
+        self.known_thresholds = [float("inf")] * n
+        self._versions = [v + 1 for v in self._versions]
+        self._heap = [(float("-inf"), sid, self._versions[pos])
+                      for pos, sid in enumerate(self.source_ids)]
+        heapq.heapify(self._heap)
+        self._eligible = n
+
     def observe_threshold(self, source_id: int, threshold: float) -> None:
         """Record a threshold piggybacked on a refresh message."""
         position = self._position.get(source_id)

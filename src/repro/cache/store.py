@@ -33,12 +33,27 @@ class CacheStore:
             raise ValueError(
                 f"expected {num_objects} initial values, "
                 f"got {len(initial_values)}")
-        self.values = np.array(initial_values, dtype=float)
+        #: the count-0 snapshot every copy starts from; kept so a crash
+        #: can cold-restart the store (see :meth:`reset`)
+        self.initial_values = np.array(initial_values, dtype=float)
+        self.values = self.initial_values.copy()
         self.refresh_times = np.zeros(num_objects)
         self.refresh_counts = np.zeros(num_objects, dtype=np.int64)
         #: update counter carried by the last applied snapshot (0 until the
         #: first refresh: the initial value is the count-0 snapshot)
         self.applied_counts = np.zeros(num_objects, dtype=np.int64)
+
+    def reset(self) -> None:
+        """Cold restart: forget every applied snapshot (crash recovery).
+
+        The store reverts to its construction state -- initial values,
+        zero refresh history -- exactly as if the cache process came
+        back up empty and re-primed from its seed data.
+        """
+        self.values = self.initial_values.copy()
+        self.refresh_times.fill(0.0)
+        self.refresh_counts.fill(0)
+        self.applied_counts.fill(0)
 
     def __len__(self) -> int:
         return len(self.values)

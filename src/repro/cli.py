@@ -9,6 +9,7 @@ Usage (installed package)::
     python -m repro fig5 --fluctuating
     python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
     python -m repro multicache --num-caches 1 2 4 --topology sharded
+    python -m repro faults --scenarios lossy-10 crash-restart
     python -m repro readmodel --replication 3 --read-rate 0.5
     python -m repro quickstart            # the README comparison
     python -m repro profile scale --sources 100000   # cProfile any command
@@ -37,6 +38,7 @@ from repro.experiments.netcond import (
     render_netcond,
     run_netcond,
 )
+from repro.experiments.faults import render_faults, run_faults
 from repro.experiments.params import best_cell, run_parameter_grid
 from repro.experiments.readmodel import render_readmodel, run_readmodel
 from repro.experiments.scale import render_scale, run_scale
@@ -51,6 +53,7 @@ from repro.experiments.validation import (
     run_skewed_validation,
     run_uniform_validation,
 )
+from repro.faults.plan import FAULT_SCENARIOS
 
 
 def _add_timing(parser: argparse.ArgumentParser, warmup: float,
@@ -169,6 +172,26 @@ def _cmd_netcond(args: argparse.Namespace) -> str:
     return render_netcond(
         points, "E11 network conditions: five policies under "
                 "trace-driven bandwidth (weighted divergence)")
+
+
+def _cmd_faults(args: argparse.Namespace) -> str:
+    points = run_faults(scenarios=tuple(args.scenarios),
+                        topologies=tuple(args.topologies),
+                        num_sources=args.sources,
+                        objects_per_source=args.objects,
+                        cache_bandwidth=args.cache_bandwidth,
+                        source_bandwidth=args.source_bandwidth,
+                        warmup=args.warmup, measure=args.measure,
+                        seed=args.seed, generator=args.generator,
+                        rate_cap=args.rate_cap,
+                        retry_timeout=args.retry_timeout,
+                        retry_backoff=args.retry_backoff,
+                        retry_attempts=args.retry_attempts,
+                        feedback_ttl=args.feedback_ttl,
+                        workers=args.workers)
+    return render_faults(
+        points, "E12 fault injection: five policies under loss, crashes "
+                "and feedback blackouts (weighted divergence)")
 
 
 def _cmd_readmodel(args: argparse.Namespace) -> str:
@@ -360,6 +383,44 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_netcond)
+
+    p = sub.add_parser("faults",
+                       help="E12 fault-injection matrix: five policies "
+                            "under loss/crash/blackout plans, plus "
+                            "reliable-delivery and feedback-TTL arms")
+    p.add_argument("--scenarios", choices=list(FAULT_SCENARIOS),
+                   nargs="+", default=list(FAULT_SCENARIOS),
+                   help="fault scenarios to run")
+    p.add_argument("--topologies", choices=list(TOPOLOGIES), nargs="+",
+                   default=list(TOPOLOGIES),
+                   help="cache layouts to run")
+    p.add_argument("--sources", type=int, default=16)
+    p.add_argument("--objects", type=int, default=8,
+                   help="objects per source")
+    p.add_argument("--cache-bandwidth", type=float, default=12.0,
+                   help="aggregate cache-side msgs/s")
+    p.add_argument("--source-bandwidth", type=float, default=4.0,
+                   help="per-source msgs/s")
+    p.add_argument("--rate-cap", type=float, default=0.1,
+                   help="max per-object update rate (sparse updates are "
+                        "where loss hurts and retries help; see "
+                        "repro.experiments.faults)")
+    p.add_argument("--retry-timeout", type=float, default=3.0,
+                   help="seconds before the first retransmit in the "
+                        "reliable-delivery arm")
+    p.add_argument("--retry-backoff", type=float, default=2.0,
+                   help="multiplier on the timeout per further attempt")
+    p.add_argument("--retry-attempts", type=int, default=4,
+                   help="total sends per refresh, the original included")
+    p.add_argument("--feedback-ttl", type=float, default=40.0,
+                   help="source-side feedback staleness TTL in the "
+                        "graceful-degradation arm")
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload sampling implementation")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
+    p.set_defaults(fn=_cmd_faults)
 
     p = sub.add_parser("readmodel",
                        help="replicated read model: quorum/any-replica "

@@ -46,17 +46,27 @@ class ThresholdController:
         paper notes the estimate "need only be a rough estimate".
     floor, ceil:
         Numerical clamps keeping the threshold in a sane range.
+    feedback_ttl:
+        Staleness bound on the last feedback message.  When set, silence
+        longer than the TTL stops counting as flood evidence (``gamma``
+        freezes at 1) and instead decays the threshold by ``1/omega``
+        once per elapsed TTL, so a source cut off from feedback -- a
+        blackout, a crashed cache -- drifts back toward the uniform
+        allocation instead of backing off forever.  ``None`` (default)
+        keeps the paper's pure behaviour.
     """
 
     __slots__ = ("value", "alpha", "omega", "feedback_period", "floor",
                  "ceil", "last_feedback_time", "refreshes", "feedbacks",
-                 "feedbacks_ignored")
+                 "feedbacks_ignored", "feedback_ttl", "ttl_decays",
+                 "_decay_deadline")
 
     def __init__(self, initial: float = 1.0, alpha: float = DEFAULT_ALPHA,
                  omega: float = DEFAULT_OMEGA,
                  feedback_period: float | None = None,
                  floor: float = 1e-12, ceil: float = 1e15,
-                 start_time: float = 0.0) -> None:
+                 start_time: float = 0.0,
+                 feedback_ttl: float | None = None) -> None:
         if initial <= 0:
             raise ValueError(f"initial threshold must be > 0, got {initial}")
         if alpha < 1.0:
@@ -66,6 +76,9 @@ class ThresholdController:
         if feedback_period is not None and feedback_period <= 0:
             raise ValueError(
                 f"feedback period must be > 0, got {feedback_period}")
+        if feedback_ttl is not None and feedback_ttl <= 0:
+            raise ValueError(
+                f"feedback TTL must be > 0, got {feedback_ttl}")
         self.value = float(initial)
         self.alpha = float(alpha)
         self.omega = float(omega)
@@ -76,6 +89,10 @@ class ThresholdController:
         self.refreshes = 0
         self.feedbacks = 0
         self.feedbacks_ignored = 0
+        self.feedback_ttl = feedback_ttl
+        self.ttl_decays = 0
+        self._decay_deadline = (start_time + feedback_ttl
+                                if feedback_ttl is not None else float("inf"))
 
     def gamma(self, now: float) -> float:
         """Flood-acceleration factor ``max(1, t_feedback / P_feedback)``."""
@@ -84,7 +101,34 @@ class ThresholdController:
         elapsed = now - self.last_feedback_time
         if elapsed <= self.feedback_period:
             return 1.0
+        ttl = self.feedback_ttl
+        if ttl is not None and elapsed > ttl:
+            # Feedback is *stale*, not merely overdue: silence this long
+            # means the channel is down, which is no evidence of flooding.
+            return 1.0
         return elapsed / self.feedback_period
+
+    def maybe_decay(self, now: float) -> None:
+        """Apply any TTL decays that have come due (lazy, idempotent).
+
+        Called from the source's drain path; the while-loop catches up
+        one ``1/omega`` step per full TTL elapsed since the deadline, so
+        the result depends only on ``now`` -- not on how often the
+        source happened to be polled during the blackout.
+        """
+        if now < self._decay_deadline:
+            return
+        ttl = self.feedback_ttl
+        while now >= self._decay_deadline:
+            self.value = max(self.floor, self.value / self.omega)
+            self.ttl_decays += 1
+            self._decay_deadline += ttl
+
+    def next_decay_time(self) -> float | None:
+        """When the next TTL decay is due (``None`` if TTL disabled)."""
+        if self.feedback_ttl is None:
+            return None
+        return self._decay_deadline
 
     def on_refresh(self, now: float) -> None:
         """A refresh was sent: raise the threshold by ``alpha * gamma``."""
@@ -98,6 +142,8 @@ class ThresholdController:
         full source-side capacity leave their threshold unmodified.
         """
         self.last_feedback_time = now
+        if self.feedback_ttl is not None:
+            self._decay_deadline = now + self.feedback_ttl
         if at_capacity:
             self.feedbacks_ignored += 1
             return

@@ -23,8 +23,10 @@ class WeightModel(ABC):
     """Time-varying nonnegative weights over ``n`` objects."""
 
     def __init__(self, n: int) -> None:
-        if n <= 0:
-            raise ValueError(f"need at least one object, got n={n}")
+        # n == 0 is a valid degenerate model: shard slicing can produce an
+        # empty shard, whose weight vector is simply empty.
+        if n < 0:
+            raise ValueError(f"object count must be >= 0, got n={n}")
         self.n = n
 
     @abstractmethod

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.divergence import DivergenceMetric
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import RetryPolicy
 from repro.metrics.report import RunResult
 from repro.network.topology import TopologyConfig
 from repro.policies.base import SimulationContext, SyncPolicy
@@ -29,6 +31,8 @@ class RunSpec:
     resample_interval: float | None = None  #: collector re-break period
     topology: TopologyConfig | None = None  #: cache layout (None = star)
     replay: str = "batched"  #: trace/read replay mode ("batched"/"event")
+    faults: FaultPlan | None = None  #: deterministic fault plan (None = off)
+    retry: RetryPolicy | None = None  #: reliable delivery (None = best-effort)
 
     @property
     def end_time(self) -> float:
@@ -50,7 +54,8 @@ def make_context(workload: Workload, metric: DivergenceMetric,
     harness, so read-model runs cannot drift from plain ones)."""
     return SimulationContext(workload, metric, warmup=spec.warmup,
                              dt=spec.dt, seed=spec.seed,
-                             topology=spec.topology, replay=spec.replay)
+                             topology=spec.topology, replay=spec.replay,
+                             faults=spec.faults, retry=spec.retry)
 
 
 def build_result(workload: Workload, metric: DivergenceMetric,

@@ -51,6 +51,9 @@ class RefreshMessage(Message):
     value: float = 0.0  #: source value snapshot at send time
     threshold: float = float("inf")  #: piggybacked local refresh threshold
     update_count: int = 0  #: source's cumulative update counter at send time
+    #: reliable-delivery sequence number (-1 = best-effort, no tracking);
+    #: stamped per source by :class:`repro.faults.retry.ReliableDelivery`
+    seq: int = field(default=-1, kw_only=True)
 
 
 @dataclass(slots=True)
@@ -66,6 +69,8 @@ class BatchRefreshMessage(Message):
 
     items: list[tuple[int, float, int]] = field(default_factory=list)
     threshold: float = float("inf")  #: piggybacked local refresh threshold
+    #: reliable-delivery sequence number (-1 = best-effort, no tracking)
+    seq: int = field(default=-1, kw_only=True)
 
 
 @dataclass(slots=True)

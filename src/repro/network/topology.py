@@ -98,6 +98,15 @@ class Topology(ABC):
         # methods (send_downstream_batch) index it.
         self._source_receivers: list[Receiver | None] = (
             [None] * self.num_sources)
+        # Fault machinery (absent by default).  _delivery_guard is the
+        # single upstream interception point: when it stays None every
+        # delivery path runs the exact fault-free instruction sequence,
+        # which is what makes an empty FaultPlan bitwise-identical to no
+        # plan at all.
+        self._fault_injector = None
+        self._reliable = None
+        self._delivery_guard: Callable[[Message, int], bool] | None = None
+        self._crash_listeners: dict[int, list[Callable[[float], None]]] = {}
         self._classify_links()
 
     def _classify_links(self) -> None:
@@ -197,6 +206,71 @@ class Topology(ABC):
         """Register the message handler of source ``source_id``."""
 
     # ------------------------------------------------------------------
+    # Fault injection and reliable delivery (see repro.faults)
+    # ------------------------------------------------------------------
+    def install_faults(self, injector=None, reliable=None) -> None:
+        """Hook fault machinery into every delivery path.
+
+        ``injector`` (a :class:`~repro.faults.injector.FaultInjector`)
+        decides the fate of each delivery *after* link credit was spent;
+        ``reliable`` (a :class:`~repro.faults.retry.ReliableDelivery`)
+        tracks refresh acks and suppresses duplicate deliveries.  With
+        both ``None`` the guard resets to the fault-free fast path.
+        """
+        self._fault_injector = injector
+        self._reliable = reliable
+        if reliable is not None:
+            reliable.bind(self)
+        if injector is None and reliable is None:
+            self._delivery_guard = None
+            return
+
+        def guard(message: Message, cache_id: int) -> bool:
+            if injector is not None and not injector.allow_upstream(
+                    message, cache_id):
+                if reliable is not None:
+                    reliable.on_lost(message, cache_id)
+                return False
+            if reliable is not None:
+                return reliable.on_delivered(message, cache_id)
+            return True
+
+        self._delivery_guard = guard
+
+    @property
+    def reliable(self):
+        """The installed reliable-delivery layer, if any."""
+        return self._reliable
+
+    def add_crash_listener(self, cache_id: int,
+                           listener: Callable[[float], None]) -> None:
+        """Register ``listener(now)`` to run when ``cache_id`` crashes."""
+        self._crash_listeners.setdefault(cache_id, []).append(listener)
+
+    def crash_cache(self, cache_id: int, now: float) -> None:
+        """Cold-restart one cache: drop its in-flight queue, reset state.
+
+        Messages sitting in the crashed link's FIFO die with the node
+        (they consumed send-side accounting but never deliver -- the
+        reliable layer, if any, learns of each loss so its timeouts can
+        retransmit).  Registered listeners then rebuild the node's
+        learned state; accrued link credit survives, since the link
+        models the network path, not the process.
+        """
+        link = self.cache_links[cache_id]
+        if link.queue:
+            injector = self._fault_injector
+            reliable = self._reliable
+            for message in link.queue:
+                if injector is not None:
+                    injector.dropped_crash += 1
+                if reliable is not None:
+                    reliable.on_lost(message, cache_id)
+            link.queue.clear()
+        for listener in self._crash_listeners.get(cache_id, ()):
+            listener(now)
+
+    # ------------------------------------------------------------------
     # Per-tick network phase
     # ------------------------------------------------------------------
     def on_network_tick(self, now: float) -> None:
@@ -267,6 +341,7 @@ class Topology(ABC):
         link = self.cache_links[cache_id]
         link.accrue(now)
         receivers = self._source_receivers
+        injector = self._fault_injector
         message = self._feedback_scratch
         message.cache_id = cache_id
         message.sent_at = now
@@ -276,6 +351,9 @@ class Topology(ABC):
                 break
             delivered += 1
             message.source_id = source_id
+            if injector is not None and not injector.allow_downstream(
+                    cache_id, source_id):
+                continue  # credit spent; delivery suppressed
             receiver = receivers[source_id]
             if receiver is not None:
                 receiver(message)
@@ -311,6 +389,8 @@ class Topology(ABC):
 
     def telemetry(self) -> dict:
         """Per-cache capacity counters, for reports and diagnostics."""
+        injector = self._fault_injector
+        reliable = self._reliable
         return {
             "num_caches": self.num_caches,
             "cache_utilization": [link.utilization()
@@ -318,6 +398,11 @@ class Topology(ABC):
             "cache_queued": [link.queued for link in self.cache_links],
             "cache_queued_peak": [link.total_queued_peak
                                   for link in self.cache_links],
+            "dropped": injector.dropped if injector is not None else 0,
+            "retransmitted": (reliable.retransmitted
+                              if reliable is not None else 0),
+            "duplicate_suppressed": (reliable.duplicate_suppressed
+                                     if reliable is not None else 0),
         }
 
     @abstractmethod
@@ -411,6 +496,8 @@ class StarTopology(Topology):
         source_link.tick_used += size
         source_link.total_sent += 1
         source_link.total_delivered += 1
+        if self._reliable is not None:
+            self._reliable.on_send(message)
         self.cache_link.transmit_or_queue(message)
         return True
 
@@ -420,12 +507,19 @@ class StarTopology(Topology):
     def send_downstream(self, message: Message) -> bool:
         """Cache -> source.  Consumes cache credit; immediate delivery."""
         receiver = self._source_receivers[message.source_id]
+        injector = self._fault_injector
+        if injector is not None and not injector.allow_downstream(
+                0, message.source_id):
+            receiver = None  # credit still spent; delivery suppressed
         return self.cache_link.send(message, receiver)
 
     # ------------------------------------------------------------------
     # Internal delivery
     # ------------------------------------------------------------------
     def _deliver_to_cache(self, message: Message) -> None:
+        guard = self._delivery_guard
+        if guard is not None and not guard(message, 0):
+            return
         if self._cache_receiver is not None:
             self._cache_receiver(message)
 
@@ -540,6 +634,9 @@ class MultiCacheTopology(Topology):
 
     def _make_cache_deliver(self, cache_id: int) -> Receiver:
         def deliver(message: Message) -> None:
+            guard = self._delivery_guard
+            if guard is not None and not guard(message, cache_id):
+                return
             receiver = self._cache_receivers[cache_id]
             if receiver is not None:
                 receiver(message)
@@ -576,6 +673,8 @@ class MultiCacheTopology(Topology):
         source_link.tick_used += size
         source_link.total_sent += 1
         source_link.total_delivered += 1
+        if self._reliable is not None:
+            self._reliable.on_send(message)
         targets = self._assignment[message.source_id]
         message.cache_id = targets[0]
         self._cache_links[targets[0]].transmit_or_queue(message)
@@ -589,6 +688,10 @@ class MultiCacheTopology(Topology):
 
     def send_downstream(self, message: Message) -> bool:
         receiver = self._source_receivers[message.source_id]
+        injector = self._fault_injector
+        if injector is not None and not injector.allow_downstream(
+                message.cache_id, message.source_id):
+            receiver = None  # credit still spent; delivery suppressed
         return self._cache_links[message.cache_id].send(message, receiver)
 
     # ------------------------------------------------------------------

@@ -19,10 +19,14 @@ import numpy as np
 
 from repro.core.divergence import DivergenceMetric
 from repro.core.objects import DataObject
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.faults.retry import ReliableDelivery, RetryPolicy
 from repro.metrics.collector import DivergenceCollector
 from repro.network.bandwidth import BandwidthProfile
 from repro.network.topology import Topology, TopologyConfig
 from repro.sim.engine import Simulator
+from repro.sim.events import Phase
 from repro.sim.random import RngRegistry
 from repro.workloads.synthetic import Workload
 from repro.workloads.trace import TraceReplayer
@@ -43,7 +47,9 @@ class SimulationContext:
                  warmup: float = 0.0, dt: float = 1.0,
                  seed: int = 0,
                  topology: TopologyConfig | None = None,
-                 replay: str = "batched") -> None:
+                 replay: str = "batched",
+                 faults: FaultPlan | None = None,
+                 retry: RetryPolicy | None = None) -> None:
         if dt <= 0:
             raise ValueError(f"dt must be > 0, got {dt}")
         self.workload = workload
@@ -53,6 +59,11 @@ class SimulationContext:
         self.topology_config = topology if topology is not None \
             else TopologyConfig()
         self.replay = replay
+        # An empty plan is normalized to None so the fault-free delivery
+        # paths stay instruction-identical (the empty-plan ≡ baseline pin).
+        self.faults = faults if faults is not None and not faults.is_empty() \
+            else None
+        self.retry = retry
         self.sim = Simulator()
         self.rngs = RngRegistry(seed)
         trace = workload.trace
@@ -83,8 +94,38 @@ class SimulationContext:
         configured topology splits it across its cache links (an even 1/N
         share each) so runs with different ``num_caches`` are
         budget-comparable.
+
+        When the context carries a fault plan and/or a retry policy they
+        are installed on the topology here, so every policy picks up the
+        fault machinery without knowing it exists.  Crash events become
+        ordinary NETWORK-phase simulator events (scheduled identically in
+        tick and event mode).
         """
-        return self.topology_config.build(cache_bandwidth, source_profiles)
+        topology = self.topology_config.build(cache_bandwidth,
+                                              source_profiles)
+        injector = None
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                if crash.cache_id >= topology.num_caches:
+                    raise ValueError(
+                        f"crash cache_id {crash.cache_id} out of range for "
+                        f"a {topology.num_caches}-cache topology")
+            injector = FaultInjector(self.faults,
+                                     clock=lambda: self.sim.now)
+        reliable = None
+        if self.retry is not None:
+            reliable = ReliableDelivery(self.retry, self.sim,
+                                        objects=self.objects)
+        if injector is not None or reliable is not None:
+            topology.install_faults(injector, reliable)
+        if self.faults is not None:
+            for crash in self.faults.crashes:
+                self.sim.at(
+                    crash.time,
+                    lambda cid=crash.cache_id: topology.crash_cache(
+                        cid, self.sim.now),
+                    phase=Phase.NETWORK)
+        return topology
 
     def add_update_hook(self, hook: UpdateHook) -> None:
         """Register a callback invoked after every applied update."""

@@ -73,6 +73,12 @@ class CooperativePolicy(SyncPolicy):
         When ``batch_size > 1``, sources package that many refreshes into
         each message (Sec 10.1 future work), flushing a partial batch
         after ``batch_timeout``.
+    feedback_ttl:
+        Staleness bound on feedback (graceful degradation under faults):
+        a source that has heard no feedback for this long stops treating
+        the silence as flood pressure and instead decays its threshold
+        by ``1/omega`` per TTL elapsed, drifting back toward the uniform
+        allocation.  ``None`` (default) keeps the paper's pure protocol.
     scheduling:
         ``"event"`` (default): sources and caches are woken per entity by
         a :class:`~repro.sim.events.WakeupSet` only when they have work
@@ -99,7 +105,8 @@ class CooperativePolicy(SyncPolicy):
                  reprioritize_interval: float | None = None,
                  batch_size: int = 1,
                  batch_timeout: float = 5.0,
-                 scheduling: str = "event") -> None:
+                 scheduling: str = "event",
+                 feedback_ttl: float | None = None) -> None:
         if scheduling not in ("event", "tick"):
             raise ValueError(f"unknown scheduling mode {scheduling!r}")
         self.scheduling = scheduling
@@ -116,6 +123,7 @@ class CooperativePolicy(SyncPolicy):
         self.reprioritize_interval = reprioritize_interval
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
+        self.feedback_ttl = feedback_ttl
         self.topology: Topology | None = None
         self.caches: list[CacheNode] = []
         self.stores: list[CacheStore] = []
@@ -184,7 +192,8 @@ class CooperativePolicy(SyncPolicy):
             threshold = ThresholdController(
                 initial=self.initial_threshold, alpha=self.alpha,
                 omega=self.omega,
-                feedback_period=period_by_cache[primary])
+                feedback_period=period_by_cache[primary],
+                feedback_ttl=self.feedback_ttl)
             monitor = self._build_monitor(tracker, workload.weights,
                                           ctx.metric, threshold)
             if self.batch_size > 1:
@@ -198,6 +207,8 @@ class CooperativePolicy(SyncPolicy):
             self.sources.append(source)
             topology.set_source_receiver(
                 j, self._make_receiver(source, ctx))
+            if topology.reliable is not None:
+                topology.reliable.register_sender(j, source)
 
         # Time-varying priorities change every object's priority every
         # tick, so there is nothing to schedule around: fall back to the
@@ -308,6 +319,12 @@ class CooperativePolicy(SyncPolicy):
         next_wake = source.monitor.next_wake_time()
         if next_wake is not None:
             self._source_wakeups.arm(j, next_wake)
+        decay = source.threshold.next_decay_time()
+        if decay is not None:
+            # TTL decay must fire even while the source is otherwise
+            # parked, or a blacked-out event-mode source would never
+            # drift -- breaking tick/event equivalence.
+            self._source_wakeups.arm(j, decay)
 
     def _sources_tick(self, now: float) -> None:
         if not self._event_driven:

@@ -58,6 +58,7 @@ class BatchingSource(SourceNode):
         one may be waiting on bandwidth, both of which resolve on a later
         tick.
         """
+        self.threshold.maybe_decay(now)
         tracker = self.monitor.tracker
         staged_indices = {obj.index for obj in self._staged}
         while True:

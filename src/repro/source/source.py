@@ -109,6 +109,7 @@ class SourceNode:
         or the top priority fell below the threshold (only a new update,
         feedback or sample can change that, each of which re-drains).
         """
+        self.threshold.maybe_decay(now)
         tracker = self.monitor.tracker
         while True:
             top = tracker.peek()

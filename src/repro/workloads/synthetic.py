@@ -94,8 +94,22 @@ class Workload:
         and wakeup sets then keep their relative order, which is what the
         shard-parallel ≡ serial equivalence argument relies on (DESIGN.md
         Sec 11).
+
+        An empty ``sources`` yields a valid empty workload; out-of-range
+        or duplicate source ids are rejected (negative ids would silently
+        wrap under numpy indexing, duplicates would silently break the
+        relabeling bijection).
         """
-        sources = np.asarray(sources, dtype=np.int64)
+        sources = np.atleast_1d(np.asarray(sources, dtype=np.int64))
+        if len(sources):
+            if (sources < 0).any() or (sources >= self.num_sources).any():
+                raise ValueError(
+                    f"shard source ids must be in [0, {self.num_sources}), "
+                    f"got {sources.tolist()}")
+            if len(np.unique(sources)) != len(sources):
+                raise ValueError(
+                    f"shard source ids must be unique, "
+                    f"got {sources.tolist()}")
         ops = self.objects_per_source
         objects = (sources[:, None] * ops
                    + np.arange(ops, dtype=np.int64)[None, :]).reshape(-1)

@@ -74,8 +74,22 @@ class UpdateTrace:
         interleaved serial schedule (disjoint shards never interact).
         Pass ``objects`` in ascending order to keep the relabeling
         monotone (ascending-id tie-breaks stay ascending locally).
+
+        An empty ``objects`` yields a valid empty trace; out-of-range or
+        duplicate object ids are rejected (negatives would silently wrap
+        into the remap table, duplicates would silently collapse the
+        relabeling to last-wins).
         """
-        objects = np.asarray(objects, dtype=np.int64)
+        objects = np.atleast_1d(np.asarray(objects, dtype=np.int64))
+        if len(objects):
+            if (objects < 0).any() or (objects >= self.num_objects).any():
+                raise ValueError(
+                    f"subset object ids must be in [0, {self.num_objects}), "
+                    f"got {objects.tolist()}")
+            if len(np.unique(objects)) != len(objects):
+                raise ValueError(
+                    f"subset object ids must be unique, "
+                    f"got {objects.tolist()}")
         remap = np.full(self.num_objects, -1, dtype=np.int64)
         remap[objects] = np.arange(len(objects), dtype=np.int64)
         local = remap[self.object_indices]

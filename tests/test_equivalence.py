@@ -29,6 +29,13 @@ from repro.core.priority import AreaPriority
 from repro.core.weights import StaticWeights
 from repro.experiments.readmodel import run_policy_with_reads
 from repro.experiments.runner import RunSpec, run_policy
+from repro.faults.plan import (
+    CacheCrash,
+    FaultPlan,
+    LossRule,
+    fault_scenario,
+)
+from repro.faults.retry import RetryPolicy
 from repro.network.bandwidth import (
     ConstantBandwidth,
     SineBandwidth,
@@ -505,6 +512,73 @@ class TestNonDyadicRates:
         assert_equivalent(
             lambda mode: UniformAllocationPolicy(
                 ConstantBandwidth(1.1), source_profiles(),
+                scheduling=mode),
+            workload, spec)
+
+
+class TestFaultEquivalence:
+    """Fault plans are ordinary simulator state: drops are counter-keyed
+    per delivery, crashes are NETWORK-phase events, and retransmit
+    timers are scheduled at send time, so tick and event schedules must
+    stay bit-for-bit under every fault scenario -- the same exactness
+    bar as the fault-free runs."""
+
+    FAULT_TOPOLOGIES = [
+        pytest.param(None, id="star"),
+        pytest.param(TopologyConfig(kind="sharded", num_caches=4),
+                     id="sharded-4"),
+    ]
+
+    @pytest.mark.parametrize("topology", FAULT_TOPOLOGIES)
+    @pytest.mark.parametrize(
+        "scenario", ["lossy-10", "crash-restart", "feedback-blackout"])
+    def test_cooperative_fault_scenarios(self, scenario, topology):
+        workload = fig4_workload()
+        plan = fault_scenario(scenario, 50.0, 150.0)
+        spec = RunSpec(**SPEC, topology=topology, faults=plan)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    def test_uniform_under_loss_and_crash(self):
+        """A hand-written plan mixing a loss window with a crash."""
+        workload = fig4_workload()
+        plan = FaultPlan(
+            seed=1,
+            loss=(LossRule(60.0, 140.0, 0.2, direction="upstream"),),
+            crashes=(CacheCrash(90.0, cache_id=0),))
+        spec = RunSpec(**SPEC, faults=plan)
+        assert_equivalent(
+            lambda mode: UniformAllocationPolicy(
+                cache_profile(), source_profiles(), scheduling=mode),
+            workload, spec)
+
+    @pytest.mark.parametrize("topology", FAULT_TOPOLOGIES)
+    def test_retry_under_loss(self, topology):
+        """Reliable delivery: ack bookkeeping and retransmit timers."""
+        workload = fig4_workload()
+        plan = fault_scenario("lossy-10", 50.0, 150.0)
+        spec = RunSpec(**SPEC, topology=topology, faults=plan,
+                       retry=RetryPolicy(timeout=6.0, backoff=2.0,
+                                         max_attempts=3))
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), scheduling=mode),
+            workload, spec)
+
+    def test_feedback_ttl_through_blackout(self):
+        """The TTL decay deadline must fire identically in both modes
+        (the event scheduler arms an explicit wakeup for it)."""
+        workload = fig4_workload()
+        plan = fault_scenario("feedback-blackout", 50.0, 150.0)
+        spec = RunSpec(**SPEC, faults=plan)
+        assert_equivalent(
+            lambda mode: CooperativePolicy(
+                cache_profile(), source_profiles(),
+                priority_fn=AreaPriority(), feedback_ttl=25.0,
                 scheduling=mode),
             workload, spec)
 

@@ -1,0 +1,606 @@
+"""The fault layer: plans, injector, retry, TTL decay, crash recovery.
+
+Covers the deterministic fault-injection subsystem end to end --
+declarative :class:`FaultPlan` validation, the counter-keyed drop draws,
+the reliable-delivery (ack/timeout/retransmit) option, the feedback
+staleness TTL, cache crash cold-restarts -- plus the E12 experiment
+driver and its structural verdicts, and the shard/subset hardening that
+rides along in the same change.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.core.threshold import ThresholdController
+from repro.core.weights import StaticWeights, WeightModel
+from repro.cache.feedback import FeedbackController
+from repro.cache.store import CacheStore
+from repro.cli import main as cli_main
+from repro.experiments.faults import (
+    FaultPoint,
+    blackout_graceful,
+    empty_plan_is_baseline,
+    loss_monotone,
+    render_faults,
+    retry_recovers,
+    run_faults,
+)
+from repro.experiments.netcond import _make_policy
+from repro.experiments.runner import RunSpec, run_policy
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FAULT_SCENARIOS,
+    CacheCrash,
+    FaultPlan,
+    LossRule,
+    SourceStall,
+    fault_scenario,
+    hash01,
+)
+from repro.faults.retry import RetryPolicy
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.messages import RefreshMessage
+from repro.network.topology import TopologyConfig
+from repro.policies.cooperative import CooperativePolicy
+from repro.workloads.synthetic import uniform_random_walk
+
+
+def small_workload(num_sources=6, objects_per_source=3, horizon=120.0,
+                   seed=0, rate_cap=1.0):
+    rng = np.random.default_rng(seed)
+    return uniform_random_walk(num_sources=num_sources,
+                               objects_per_source=objects_per_source,
+                               horizon=horizon, rng=rng,
+                               rate_range=(0.0, rate_cap))
+
+
+def profiles(workload, cache=10.0, source=2.0):
+    return (ConstantBandwidth(cache),
+            [ConstantBandwidth(source)
+             for _ in range(workload.num_sources)])
+
+
+def cooperative(workload, cache=10.0, source=2.0, **kwargs):
+    cache_bw, source_bws = profiles(workload, cache, source)
+    return CooperativePolicy(cache_bw, source_bws,
+                             priority_fn=AreaPriority(), **kwargs)
+
+
+class TestHash01:
+    def test_deterministic_and_in_range(self):
+        draws = [hash01(7, 0, 3, k) for k in range(1000)]
+        assert draws == [hash01(7, 0, 3, k) for k in range(1000)]
+        assert all(0.0 <= d < 1.0 for d in draws)
+
+    def test_keys_matter(self):
+        assert hash01(0, 1, 2, 3) != hash01(0, 1, 2, 4)
+        assert hash01(0, 1, 2, 3) != hash01(1, 1, 2, 3)
+        assert hash01(0, 0, 2, 3) != hash01(0, 1, 2, 3)
+
+    def test_roughly_uniform(self):
+        draws = [hash01(42, 0, 0, k) for k in range(4000)]
+        assert abs(sum(draws) / len(draws) - 0.5) < 0.03
+        assert 0.05 < sum(1 for d in draws if d < 0.1) / len(draws) < 0.15
+
+
+class TestPlanValidation:
+    def test_loss_rule_window_and_probability(self):
+        with pytest.raises(ValueError, match="start < end"):
+            LossRule(10.0, 10.0, 0.5)
+        with pytest.raises(ValueError, match="probability"):
+            LossRule(0.0, 10.0, 1.5)
+        with pytest.raises(ValueError, match="direction"):
+            LossRule(0.0, 10.0, 0.5, direction="sideways")
+
+    def test_loss_rule_matching(self):
+        rule = LossRule(10.0, 20.0, 0.5, cache_ids=(1,), source_ids=(2, 3))
+        assert rule.matches(10.0, 1, 2)
+        assert not rule.matches(20.0, 1, 2)  # end-exclusive
+        assert not rule.matches(9.9, 1, 2)
+        assert not rule.matches(15.0, 0, 2)
+        assert not rule.matches(15.0, 1, 4)
+
+    def test_crash_validation(self):
+        with pytest.raises(ValueError, match="crash time"):
+            CacheCrash(0.0)
+        with pytest.raises(ValueError, match="cache_id"):
+            CacheCrash(5.0, cache_id=-1)
+
+    def test_stall_validation_and_matching(self):
+        with pytest.raises(ValueError, match="start < end"):
+            SourceStall(5.0, 5.0)
+        stall = SourceStall(0.0, 10.0, source_ids=(1,))
+        assert stall.matches(0.0, 1)
+        assert not stall.matches(0.0, 2)
+        assert SourceStall(0.0, 10.0).matches(5.0, 99)  # None = all
+
+    def test_plan_is_empty(self):
+        assert FaultPlan().is_empty()
+        assert FaultPlan(seed=9).is_empty()  # a seed alone injects nothing
+        assert not FaultPlan(loss=(LossRule(0.0, 1.0, 0.1),)).is_empty()
+        assert not FaultPlan(crashes=(CacheCrash(1.0),)).is_empty()
+        assert not FaultPlan(stalls=(SourceStall(0.0, 1.0),)).is_empty()
+
+    def test_fault_scenarios(self):
+        assert fault_scenario("none", 50.0, 150.0).is_empty()
+        lossy = fault_scenario("lossy-10", 50.0, 150.0)
+        assert lossy.loss[0].probability == 0.10
+        assert lossy.loss[0].end == 200.0
+        crash = fault_scenario("crash-restart", 50.0, 150.0)
+        assert crash.crashes[0].time == 50.0 + 0.4 * 150.0
+        blackout = fault_scenario("feedback-blackout", 50.0, 150.0)
+        assert blackout.loss[0].direction == "downstream"
+        assert blackout.loss[0].probability == 1.0
+        with pytest.raises(ValueError, match="unknown fault scenario"):
+            fault_scenario("meteor-strike", 50.0, 150.0)
+        for name in FAULT_SCENARIOS:
+            fault_scenario(name, 10.0, 20.0)  # all names resolve
+
+
+def make_injector(plan, now=0.0):
+    clock = {"now": now}
+    injector = FaultInjector(plan, clock=lambda: clock["now"])
+    return injector, clock
+
+
+def refresh(source_id=0):
+    return RefreshMessage(source_id=source_id, object_index=0, value=1.0,
+                          update_count=1, threshold=0.5, sent_at=0.0)
+
+
+class TestFaultInjector:
+    def test_certain_loss_window(self):
+        plan = FaultPlan(loss=(LossRule(10.0, 20.0, 1.0),))
+        injector, clock = make_injector(plan)
+        assert injector.allow_upstream(refresh(), 0)
+        clock["now"] = 15.0
+        assert not injector.allow_upstream(refresh(), 0)
+        assert not injector.allow_downstream(0, 3)
+        clock["now"] = 20.0  # end-exclusive
+        assert injector.allow_upstream(refresh(), 0)
+        assert injector.dropped_upstream == 1
+        assert injector.dropped_downstream == 1
+        assert injector.dropped == 2
+
+    def test_statistical_loss_rate(self):
+        plan = FaultPlan(seed=3, loss=(LossRule(0.0, 1e9, 0.2),))
+        injector, _ = make_injector(plan, now=1.0)
+        n = 3000
+        passed = sum(injector.allow_upstream(refresh(), 0)
+                     for _ in range(n))
+        assert abs((n - passed) / n - 0.2) < 0.03
+        assert injector.dropped_upstream == n - passed
+
+    def test_directional_rules(self):
+        plan = FaultPlan(loss=(LossRule(0.0, 100.0, 1.0,
+                                        direction="downstream"),))
+        injector, _ = make_injector(plan, now=5.0)
+        assert injector.allow_upstream(refresh(), 0)
+        assert not injector.allow_downstream(0, 0)
+
+    def test_stall_drops_upstream_only(self):
+        plan = FaultPlan(stalls=(SourceStall(0.0, 50.0,
+                                             source_ids=(1,)),))
+        injector, _ = make_injector(plan, now=10.0)
+        assert injector.allow_upstream(refresh(source_id=0), 0)
+        assert not injector.allow_upstream(refresh(source_id=1), 0)
+        assert injector.allow_downstream(0, 1)  # stalls are upstream-only
+
+    def test_overlapping_rules_compound(self):
+        # keep = (1-p1)(1-p2); with p2 = 1 everything dies regardless.
+        plan = FaultPlan(loss=(LossRule(0.0, 10.0, 0.1),
+                               LossRule(0.0, 10.0, 1.0)))
+        injector, _ = make_injector(plan, now=5.0)
+        assert not any(injector.allow_upstream(refresh(), 0)
+                       for _ in range(20))
+
+    def test_zero_probability_rule_never_drops(self):
+        plan = FaultPlan(loss=(LossRule(0.0, 1e9, 0.0),))
+        injector, _ = make_injector(plan, now=1.0)
+        assert all(injector.allow_upstream(refresh(), 0)
+                   for _ in range(200))
+        assert injector.dropped == 0
+
+    def test_counters_advance_outside_windows(self):
+        """The n-th delivery's draw is independent of earlier windows:
+        adding a disjoint earlier window must not shift later fates."""
+        late = LossRule(100.0, 200.0, 0.5)
+        early = LossRule(0.0, 10.0, 1.0)
+        fates = {}
+        for name, rules in (("alone", (late,)), ("shifted", (early, late))):
+            injector, clock = make_injector(FaultPlan(loss=rules))
+            clock["now"] = 50.0
+            for _ in range(30):  # pre-window deliveries advance counters
+                injector.allow_upstream(refresh(), 0)
+            clock["now"] = 150.0
+            fates[name] = [injector.allow_upstream(refresh(), 0)
+                           for _ in range(50)]
+        assert fates["alone"] == fates["shifted"]
+
+
+class TestRetryPolicyValidation:
+    def test_knobs(self):
+        with pytest.raises(ValueError, match="timeout"):
+            RetryPolicy(timeout=0.0)
+        with pytest.raises(ValueError, match="backoff"):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        policy = RetryPolicy(timeout=2.0, backoff=1.5, max_attempts=5)
+        assert policy.timeout == 2.0
+
+
+class TestThresholdTTL:
+    def test_lazy_decay_catches_up(self):
+        controller = ThresholdController(initial=8.0, omega=2.0,
+                                         feedback_ttl=10.0)
+        controller.maybe_decay(9.9)
+        assert controller.value == 8.0 and controller.ttl_decays == 0
+        controller.maybe_decay(25.0)  # deadlines at 10 and 20 elapsed
+        assert controller.value == 2.0 and controller.ttl_decays == 2
+        assert controller.next_decay_time() == 30.0
+
+    def test_decay_is_poll_frequency_independent(self):
+        often = ThresholdController(initial=8.0, omega=2.0,
+                                    feedback_ttl=10.0)
+        for t in np.linspace(0.0, 35.0, 200):
+            often.maybe_decay(float(t))
+        once = ThresholdController(initial=8.0, omega=2.0,
+                                   feedback_ttl=10.0)
+        once.maybe_decay(35.0)
+        assert often.value == once.value
+        assert often.ttl_decays == once.ttl_decays
+
+    def test_decay_respects_floor(self):
+        controller = ThresholdController(initial=1.0, omega=10.0,
+                                         floor=1e-3, feedback_ttl=1.0)
+        controller.maybe_decay(100.0)
+        assert controller.value == 1e-3
+
+    def test_feedback_pushes_deadline(self):
+        controller = ThresholdController(initial=4.0, omega=2.0,
+                                         feedback_ttl=10.0)
+        controller.on_feedback(7.0)
+        assert controller.next_decay_time() == 17.0
+        controller.maybe_decay(12.0)  # old deadline (10) must not fire
+        assert controller.ttl_decays == 0
+
+    def test_gamma_freezes_on_stale_feedback(self):
+        controller = ThresholdController(feedback_period=5.0,
+                                         feedback_ttl=30.0)
+        assert controller.gamma(4.0) == 1.0
+        assert controller.gamma(10.0) == 2.0  # overdue: accelerate
+        assert controller.gamma(31.0) == 1.0  # stale: channel is down
+
+    def test_disabled_ttl_is_inert(self):
+        controller = ThresholdController(initial=4.0)
+        controller.maybe_decay(1e9)
+        assert controller.value == 4.0
+        assert controller.next_decay_time() is None
+
+    def test_ttl_validation(self):
+        with pytest.raises(ValueError, match="TTL"):
+            ThresholdController(feedback_ttl=0.0)
+
+
+class TestCrashResets:
+    def test_store_reset(self):
+        store = CacheStore(3, initial_values=np.array([1.0, 2.0, 3.0]))
+        store.apply(0, 9.0, now=5.0, update_count=4)
+        store.apply(2, 7.0, now=6.0, update_count=2)
+        store.reset()
+        assert store.read(0) == 1.0 and store.read(2) == 3.0
+        assert store.total_refreshes() == 0
+        assert list(store.applied_counts) == [0, 0, 0]
+        assert list(store.refresh_times) == [0.0, 0.0, 0.0]
+
+    def test_feedback_controller_reset(self):
+        workload = small_workload()
+        cache_bw, source_bws = profiles(workload)
+        topology = TopologyConfig().build(cache_bw, source_bws)
+        controller = FeedbackController(topology, omega=10.0)
+        controller.observe_threshold(2, 1e-13)  # below min: ineligible
+        assert controller._eligible < len(controller.source_ids)
+        controller.reset()
+        assert controller._eligible == len(controller.source_ids)
+        assert all(t == float("inf")
+                   for t in controller.known_thresholds)
+
+    def test_crash_out_of_range_rejected(self):
+        workload = small_workload()
+        plan = FaultPlan(crashes=(CacheCrash(40.0, cache_id=5),))
+        spec = RunSpec(warmup=20.0, measure=80.0, faults=plan)
+        with pytest.raises(ValueError, match="out of range"):
+            run_policy(workload, ValueDeviation(), cooperative(workload),
+                       spec)
+
+    def test_crash_resets_cache_and_is_deterministic(self):
+        workload = small_workload()
+        plan = FaultPlan(crashes=(CacheCrash(60.0, cache_id=0),))
+        spec = RunSpec(warmup=20.0, measure=100.0, faults=plan)
+
+        def run():
+            policy = cooperative(workload)
+            result = run_policy(workload, ValueDeviation(), policy, spec)
+            return policy, result
+
+        policy, result = run()
+        assert policy.caches[0].crashes == 1
+        baseline = run_policy(workload, ValueDeviation(),
+                              cooperative(workload),
+                              RunSpec(warmup=20.0, measure=100.0))
+        assert result.weighted_divergence > baseline.weighted_divergence
+        _, again = run()
+        assert again.weighted_divergence == result.weighted_divergence
+        assert again.refreshes == result.refreshes
+
+
+class TestLossIntegration:
+    def test_drops_are_counted_and_hurt(self):
+        workload = small_workload()
+        plan = fault_scenario("lossy-10", 20.0, 100.0)
+        spec = RunSpec(warmup=20.0, measure=100.0, faults=plan)
+        policy = cooperative(workload)
+        result = run_policy(workload, ValueDeviation(), policy, spec)
+        telemetry = policy.topology.telemetry()
+        assert telemetry["dropped"] > 0
+        assert telemetry["retransmitted"] == 0  # no retry configured
+        baseline = run_policy(workload, ValueDeviation(),
+                              cooperative(workload),
+                              RunSpec(warmup=20.0, measure=100.0))
+        assert result.weighted_divergence > baseline.weighted_divergence
+
+    def test_total_blackout_stops_refreshes(self):
+        workload = small_workload()
+        # The window is end-exclusive, so it must outlast the horizon: a
+        # delivery exactly at the end instant would slip through.
+        plan = FaultPlan(loss=(LossRule(0.0, 1e9, 1.0,
+                                        direction="upstream"),))
+        spec = RunSpec(warmup=20.0, measure=100.0, faults=plan)
+        policy = cooperative(workload)
+        result = run_policy(workload, ValueDeviation(), policy, spec)
+        assert result.refreshes == 0
+        assert policy.topology.telemetry()["dropped"] > 0
+
+
+class TestReliableDelivery:
+    def test_retransmits_recover_sparse_losses(self):
+        workload = small_workload(horizon=300.0, rate_cap=0.1)
+        plan = fault_scenario("lossy-10", 50.0, 250.0)
+        lossy_spec = RunSpec(warmup=50.0, measure=250.0, faults=plan)
+        retry_spec = RunSpec(warmup=50.0, measure=250.0, faults=plan,
+                             retry=RetryPolicy(timeout=3.0, backoff=2.0,
+                                               max_attempts=4))
+        lossy = run_policy(workload, ValueDeviation(),
+                           cooperative(workload), lossy_spec)
+        policy = cooperative(workload)
+        retried = run_policy(workload, ValueDeviation(), policy,
+                             retry_spec)
+        telemetry = policy.topology.telemetry()
+        assert telemetry["retransmitted"] > 0
+        assert retried.weighted_divergence < lossy.weighted_divergence
+
+    def test_retry_without_faults_changes_nothing(self):
+        """On a clean network every refresh acks before its timer."""
+        workload = small_workload()
+        plain = run_policy(workload, ValueDeviation(),
+                           cooperative(workload),
+                           RunSpec(warmup=20.0, measure=100.0))
+        policy = cooperative(workload)
+        retried = run_policy(
+            workload, ValueDeviation(), policy,
+            RunSpec(warmup=20.0, measure=100.0,
+                    retry=RetryPolicy(timeout=1000.0)))
+        assert retried.weighted_divergence == plain.weighted_divergence
+        assert retried.refreshes == plain.refreshes
+        telemetry = policy.topology.telemetry()
+        assert telemetry["retransmitted"] == 0
+        assert telemetry["duplicate_suppressed"] == 0
+
+    def test_retry_is_deterministic(self):
+        workload = small_workload(rate_cap=0.2)
+        plan = fault_scenario("lossy-10", 20.0, 100.0)
+        spec = RunSpec(warmup=20.0, measure=100.0, faults=plan,
+                       retry=RetryPolicy(timeout=4.0))
+
+        def run():
+            policy = cooperative(workload)
+            result = run_policy(workload, ValueDeviation(), policy, spec)
+            telemetry = policy.topology.telemetry()
+            return (result.weighted_divergence, result.refreshes,
+                    telemetry["retransmitted"],
+                    telemetry["duplicate_suppressed"])
+
+        assert run() == run()
+
+    def test_attempts_are_bounded(self):
+        """Under total loss every refresh is abandoned after its
+        attempt budget; nothing retries forever."""
+        workload = small_workload(num_sources=3, horizon=100.0,
+                                  rate_cap=0.3)
+        plan = FaultPlan(loss=(LossRule(0.0, 100.0, 1.0,
+                                        direction="upstream"),))
+        spec = RunSpec(warmup=20.0, measure=80.0, faults=plan,
+                       retry=RetryPolicy(timeout=2.0, backoff=1.0,
+                                         max_attempts=3))
+        policy = cooperative(workload)
+        run_policy(workload, ValueDeviation(), policy, spec)
+        reliable = policy.topology.reliable
+        assert reliable.abandoned > 0
+        assert reliable.retransmitted <= 2 * reliable.abandoned + 2 * 3
+
+
+POLICY_NAMES = ("cooperative", "uniform", "competitive", "cgm", "ideal")
+
+
+class TestEmptyPlanPins:
+    """An explicit empty FaultPlan (and plan=None) must be bitwise
+    indistinguishable from a fault-free run for every policy on both
+    reference topologies -- the machinery-off acceptance pin."""
+
+    @pytest.mark.parametrize("topology", [
+        pytest.param(None, id="star"),
+        pytest.param(TopologyConfig(kind="sharded", num_caches=4),
+                     id="sharded-4"),
+    ])
+    @pytest.mark.parametrize("name", POLICY_NAMES)
+    def test_empty_plan_bitwise(self, name, topology):
+        workload = small_workload()
+
+        def run(faults):
+            cache_bw, source_bws = profiles(workload)
+            policy = _make_policy(name, cache_bw, source_bws,
+                                  workload.num_objects)
+            result = run_policy(
+                workload, ValueDeviation(), policy,
+                RunSpec(warmup=20.0, measure=100.0, topology=topology,
+                        faults=faults))
+            return (result.weighted_divergence,
+                    result.unweighted_divergence, result.refreshes,
+                    result.feedback_messages, result.poll_messages)
+
+        assert run(None) == run(FaultPlan())
+
+
+class TestShardHardening:
+    def test_empty_shard_is_valid(self):
+        workload = small_workload()
+        empty = workload.shard(np.array([], dtype=np.int64))
+        assert empty.num_sources == 0
+        assert empty.num_objects == 0
+        assert len(empty.trace.times) == 0
+        assert empty.weights.n == 0
+
+    def test_shard_rejects_bad_ids(self):
+        workload = small_workload()
+        with pytest.raises(ValueError, match="in \\[0"):
+            workload.shard(np.array([0, 6]))
+        with pytest.raises(ValueError, match="in \\[0"):
+            workload.shard(np.array([-1]))
+        with pytest.raises(ValueError, match="unique"):
+            workload.shard(np.array([1, 1]))
+
+    def test_subset_rejects_bad_ids(self):
+        trace = small_workload().trace
+        with pytest.raises(ValueError, match="in \\[0"):
+            trace.subset(np.array([trace.num_objects]))
+        with pytest.raises(ValueError, match="unique"):
+            trace.subset(np.array([2, 2]))
+        empty = trace.subset(np.array([], dtype=np.int64))
+        assert empty.num_objects == 0
+        assert len(empty.times) == 0
+
+    def test_weight_model_degenerate_sizes(self):
+        empty = StaticWeights(np.array([], dtype=float))
+        assert empty.n == 0
+        assert empty.weights(0.0).shape == (0,)
+
+        class Dummy(WeightModel):
+            def weight(self, index, t):
+                return 1.0
+
+            def weights(self, t):
+                return np.zeros(self.n)
+
+        assert Dummy(0).n == 0  # empty shards are legal
+        with pytest.raises(ValueError, match=">= 0"):
+            Dummy(-1)
+
+
+class TestRunFaultsExperiment:
+    def test_tiny_matrix_fields(self):
+        points = run_faults(scenarios=("none", "lossy-10"),
+                            topologies=("star",), num_sources=4,
+                            objects_per_source=2, cache_bandwidth=4.0,
+                            source_bandwidth=1.0, warmup=20.0,
+                            measure=60.0)
+        assert len(points) == 2
+        by_scenario = {p.scenario: p for p in points}
+        none, lossy = by_scenario["none"], by_scenario["lossy-10"]
+        assert set(none.divergence) == set(POLICY_NAMES)
+        assert none.empty_plan_divergence == none.divergence
+        assert none.ttl_divergence is not None
+        assert lossy.retry_divergence is not None
+        assert lossy.dropped["cooperative"] > 0
+        assert none.dropped["cooperative"] == 0
+        assert lossy.empty_plan_divergence == {}  # pin runs on none only
+        text = render_faults(points, "tiny")
+        assert "lossy-10" in text and "retransmits" in text
+
+    def test_unknown_names_rejected(self):
+        with pytest.raises(ValueError, match="scenario"):
+            run_faults(scenarios=("packet-gnomes",))
+        with pytest.raises(ValueError, match="topology"):
+            run_faults(topologies=("torus",))
+
+
+def point(scenario, topology="star", coop=0.1, uniform=0.2, retry=None,
+          ttl=None):
+    p = FaultPoint(scenario=scenario, topology=topology)
+    p.divergence = {"cooperative": coop, "uniform": uniform}
+    p.refreshes = {"cooperative": 100, "uniform": 100}
+    p.retry_divergence = retry
+    p.ttl_divergence = ttl
+    return p
+
+
+class TestVerdicts:
+    def test_empty_plan_verdict(self):
+        good = point("none")
+        good.empty_plan_divergence = dict(good.divergence)
+        good.empty_plan_refreshes = dict(good.refreshes)
+        assert empty_plan_is_baseline([good])
+        bad = point("none")
+        bad.empty_plan_divergence = {"cooperative": 0.999,
+                                     "uniform": 0.2}
+        bad.empty_plan_refreshes = dict(bad.refreshes)
+        assert not empty_plan_is_baseline([bad])
+        assert not empty_plan_is_baseline([])  # vacuous is not a pass
+
+    def test_loss_monotone_with_tolerance(self):
+        ladder = [point("none", coop=0.10), point("lossy-1", coop=0.12),
+                  point("lossy-10", coop=0.30)]
+        assert loss_monotone(ladder)
+        dip = [point("none", coop=0.10), point("lossy-1", coop=0.0991)]
+        assert loss_monotone(dip)  # within the 2% noise allowance
+        drop = [point("none", coop=0.10), point("lossy-1", coop=0.05)]
+        assert not loss_monotone(drop)
+        assert not loss_monotone([point("none")])  # nothing to compare
+
+    def test_retry_recovers_verdict(self):
+        cells = [point("none", coop=0.10),
+                 point("lossy-10", coop=0.30, retry=0.15)]
+        assert retry_recovers(cells)  # gap 0.2, recovered to half exactly
+        weak = [point("none", coop=0.10),
+                point("lossy-10", coop=0.30, retry=0.25)]
+        assert not retry_recovers(weak)
+        no_gap = [point("none", coop=0.10),
+                  point("lossy-10", coop=0.08, retry=0.9)]
+        assert retry_recovers(no_gap)  # nothing to recover
+
+    def test_blackout_graceful_verdict(self):
+        ok = [point("feedback-blackout", uniform=0.2, ttl=0.15)]
+        assert blackout_graceful(ok)
+        bad = [point("feedback-blackout", uniform=0.2, ttl=0.25)]
+        assert not blackout_graceful(bad)
+        assert not blackout_graceful([point("none", ttl=0.1)])
+
+
+class TestFaultsCLI:
+    def test_faults_subcommand(self, capsys, tmp_path):
+        out = tmp_path / "faults.txt"
+        code = cli_main([
+            "--output", str(out), "faults", "--scenarios", "none",
+            "lossy-10", "--topologies", "star", "--sources", "4",
+            "--objects", "2", "--cache-bandwidth", "4",
+            "--source-bandwidth", "1", "--warmup", "20",
+            "--measure", "60", "--workers", "2"])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "E12 fault injection" in text
+        assert "empty fault plan == fault-free baseline" in text
+        assert "n/a (scenario not in this matrix)" in text  # no blackout
+        assert out.read_text() == text.rstrip("\n") + "\n" \
+            or out.read_text().startswith("E12")
