@@ -25,10 +25,39 @@ from repro.metrics.collector import DivergenceCollector
 from repro.network.messages import (
     BatchRefreshMessage,
     Message,
+    MigrateMessage,
     PollResponse,
     RefreshMessage,
 )
 from repro.network.topology import Topology
+
+
+class WindowStats:
+    """Per-window refresh telemetry a rebalancer reads and resets.
+
+    Attached to a :class:`CacheNode` only when a rebalancer is running
+    (``None`` otherwise, so the fault-free refresh hot path pays one
+    pointer check).  ``divergence_removed`` accumulates the before-minus-
+    after divergence of every applied refresh -- the numerator of the
+    "divergence removed per message" signal -- and ``refreshes`` counts
+    applied refreshes per source, which is what picks the hottest shard
+    to migrate.
+    """
+
+    __slots__ = ("divergence_removed", "refreshes", "messages")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.divergence_removed = 0.0
+        self.refreshes: dict[int, int] = {}
+        self.messages = 0
+
+    def note(self, source_id: int, removed: float) -> None:
+        self.divergence_removed += removed
+        self.refreshes[source_id] = self.refreshes.get(source_id, 0) + 1
+        self.messages += 1
 
 
 class CacheNode:
@@ -57,6 +86,10 @@ class CacheNode:
         self.refreshes_applied = 0
         self.stale_discards = 0
         self.poll_responses = 0
+        self.migrations_in = 0
+        self.seeds_in = 0
+        #: windowed telemetry, installed by a rebalancer (None = off path)
+        self.window: WindowStats | None = None
         self._poll_handler: Callable[[PollResponse, float], None] | None = None
         self.refresh_hooks: list[Callable[[DataObject, float], None]] = []
         #: optional callback ``hook(now)`` fired on every delivered message,
@@ -89,6 +122,8 @@ class CacheNode:
             self.poll_responses += 1
             if self._poll_handler is not None:
                 self._poll_handler(message, now)
+        elif isinstance(message, MigrateMessage):
+            self._apply_migration(message, now)
         if self.activity_hook is not None:
             self.activity_hook(now)
 
@@ -96,8 +131,13 @@ class CacheNode:
         obj = self.objects[message.object_index]
         if self._is_stale(obj, message.update_count):
             return
+        window = self.window
+        if window is not None:
+            before = obj.truth.divergence
         obj.apply_refresh(now, message.value, message.update_count,
                           self.metric)
+        if window is not None:
+            window.note(message.source_id, before - obj.truth.divergence)
         if self.collector is not None:
             self.collector.record(obj.index, now, obj.truth.divergence)
         if self.store is not None:
@@ -123,11 +163,17 @@ class CacheNode:
         """
         applied_indices: list[int] = []
         applied_divergences: list[float] = []
+        window = self.window
         for object_index, value, update_count in message.items:
             obj = self.objects[object_index]
             if self._is_stale(obj, update_count):
                 continue
+            if window is not None:
+                before = obj.truth.divergence
             obj.apply_refresh(now, value, update_count, self.metric)
+            if window is not None:
+                window.note(message.source_id,
+                            before - obj.truth.divergence)
             applied_indices.append(obj.index)
             applied_divergences.append(obj.truth.divergence)
             if self.store is not None:
@@ -143,6 +189,63 @@ class CacheNode:
         if self.feedback is not None:
             self.feedback.observe_threshold(message.source_id,
                                             message.threshold)
+
+    # ------------------------------------------------------------------
+    # Shard migration (rebalancer)
+    # ------------------------------------------------------------------
+    def export_source(self, source_id: int,
+                      object_indices: "list[int] | range"
+                      ) -> tuple[list[tuple[int, float, int]], float]:
+        """Donor side of a migration: snapshot state, drop the feedback row.
+
+        Returns the ``(object_index, value, update_count)`` snapshots of
+        this cache's stored copies plus the feedback controller's learned
+        threshold for the source.  The truth views are untouched -- the
+        logical cached copy does not change by moving, so divergence
+        accounting through a *warm* handoff is exact (contrast the crash
+        path, which reverts truth to the initial values because the copy
+        really is lost).
+        """
+        store = self.store
+        if store is None:
+            items = []
+        else:
+            items = [(int(i), float(store.values[i]),
+                      int(store.applied_counts[i]))
+                     for i in object_indices]
+        threshold = float("inf")
+        if self.feedback is not None:
+            threshold = self.feedback.remove_source(source_id)
+        return items, threshold
+
+    def _apply_migration(self, message: MigrateMessage, now: float) -> None:
+        """Recipient side: adopt the snapshots and (if primary) the source.
+
+        Each item lands in the store only when at least as fresh as what
+        is already there: refreshes over the re-routed source link may
+        have raced ahead of the migration payload on the peer link, and
+        regressing ``applied_count`` would resurrect a stale copy.  Truth
+        views are never touched -- see :meth:`export_source`.
+
+        A single-item message whose source is *not* homed here is a
+        replica seed: it updates the store copy but leaves the feedback
+        table alone (the primary cache runs the protocol).
+        """
+        store = self.store
+        if store is not None:
+            counts = store.applied_counts
+            for object_index, value, update_count in message.items:
+                if update_count >= counts[object_index]:
+                    store.apply(object_index, value, now,
+                                update_count=update_count)
+        if self.topology.primary_cache_of(message.source_id) \
+                == self.cache_id:
+            self.migrations_in += 1
+            if self.feedback is not None:
+                self.feedback.add_source(message.source_id,
+                                         message.threshold)
+        else:
+            self.seeds_in += 1
 
     def _is_stale(self, obj: DataObject, update_count: int) -> bool:
         """True when a fresher snapshot of ``obj`` was already applied.

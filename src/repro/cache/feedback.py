@@ -59,6 +59,10 @@ class FeedbackController:
             source_ids = range(topology.num_sources)
         self.source_ids = tuple(source_ids)
         self._position = {sid: pos for pos, sid in enumerate(self.source_ids)}
+        # Permanent sid -> slot map: slots are never compacted, so a
+        # source migrated away and back (see add/remove_source) reuses
+        # its original slot instead of aliasing a second heap identity.
+        self._slots = dict(self._position)
         self.known_thresholds = [float("inf")] * len(self.source_ids)
         self.feedback_sent = 0
         # Lazy max-heap over (threshold, source) so selecting the top
@@ -82,13 +86,60 @@ class FeedbackController:
         Versions keep advancing (never reset) so heap entries drained
         before the crash stay stale.
         """
-        n = len(self.source_ids)
-        self.known_thresholds = [float("inf")] * n
+        live = self._position
+        self.known_thresholds = [
+            float("inf") if sid in live else self.min_threshold
+            for sid in self.source_ids]
         self._versions = [v + 1 for v in self._versions]
         self._heap = [(float("-inf"), sid, self._versions[pos])
-                      for pos, sid in enumerate(self.source_ids)]
+                      for pos, sid in enumerate(self.source_ids)
+                      if sid in live]
         heapq.heapify(self._heap)
-        self._eligible = n
+        self._eligible = len(live)
+
+    def remove_source(self, source_id: int) -> float:
+        """Forget one migrated-away source; returns its learned threshold.
+
+        The slot is parked, not compacted: the recorded threshold drops
+        to the floor (fixing the eligible count and invalidating live
+        heap entries via the version bump) and the source leaves the
+        live ``_position`` map, so late refreshes that were still in
+        flight to this cache can no longer resurrect it through
+        :meth:`observe_threshold`.  The returned threshold travels with
+        the migration so the recipient skips the infinite bootstrap.
+        """
+        position = self._position.get(source_id)
+        if position is None:
+            raise ValueError(
+                f"source {source_id} is not owned by cache {self.cache_id}")
+        threshold = self.known_thresholds[position]
+        self._set_threshold(position, self.min_threshold)
+        del self._position[source_id]
+        return threshold
+
+    def add_source(self, source_id: int,
+                   threshold: float = float("inf")) -> None:
+        """Adopt a migrated-in source, seeding its learned threshold.
+
+        A source this controller has seen before (migrated away and
+        back) reuses its original slot; a brand-new one is appended.
+        Already-live sources just observe the threshold.
+        """
+        position = self._position.get(source_id)
+        if position is not None:
+            self._set_threshold(position, threshold)
+            return
+        position = self._slots.get(source_id)
+        if position is None:
+            position = len(self.known_thresholds)
+            self._slots[source_id] = position
+            self.source_ids = self.source_ids + (source_id,)
+            # Seed the new slot at the floor (ineligible) so the
+            # _set_threshold below accounts the eligibility delta.
+            self.known_thresholds.append(self.min_threshold)
+            self._versions.append(0)
+        self._position[source_id] = position
+        self._set_threshold(position, threshold)
 
     def observe_threshold(self, source_id: int, threshold: float) -> None:
         """Record a threshold piggybacked on a refresh message."""
@@ -177,10 +228,13 @@ class FeedbackController:
         while heap and len(selected) < budget:
             entry = heapq.heappop(heap)
             neg_threshold, source_id, version = entry
-            position = self._position[source_id]
-            if (version != self._versions[position]
+            position = self._position.get(source_id)
+            if (position is None
+                    or version != self._versions[position]
                     or -neg_threshold <= self.min_threshold):
-                continue  # stale or no longer eligible: dropped for good
+                # Stale, no longer eligible, or migrated away since the
+                # entry was pushed: dropped for good.
+                continue
             selected.append(source_id)
             popped.append(entry)
         return selected, popped

@@ -40,6 +40,11 @@ from repro.experiments.netcond import (
 )
 from repro.experiments.faults import render_faults, run_faults
 from repro.experiments.params import best_cell, run_parameter_grid
+from repro.experiments.rebalance import (
+    CACHE_COUNTS,
+    render_rebalance,
+    run_rebalance,
+)
 from repro.experiments.readmodel import render_readmodel, run_readmodel
 from repro.experiments.scale import render_scale, run_scale
 from repro.experiments.tables import (
@@ -192,6 +197,29 @@ def _cmd_faults(args: argparse.Namespace) -> str:
     return render_faults(
         points, "E12 fault injection: five policies under loss, crashes "
                 "and feedback blackouts (weighted divergence)")
+
+
+def _cmd_rebalance(args: argparse.Namespace) -> str:
+    points = run_rebalance(cache_counts=tuple(args.num_caches),
+                           num_sources=args.sources,
+                           objects_per_source=args.objects,
+                           cache_bandwidth=args.cache_bandwidth,
+                           source_bandwidth=args.source_bandwidth,
+                           num_phases=args.phases,
+                           hot_boost=args.hot_boost,
+                           rate_range=(args.rate_range[0],
+                                       args.rate_range[1]),
+                           interval=args.interval,
+                           max_moves=args.max_moves,
+                           saturation_queue=args.saturation_queue,
+                           peer_rate=args.peer_rate,
+                           warmup=args.warmup, measure=args.measure,
+                           seed=args.seed, generator=args.generator,
+                           workers=args.workers)
+    return render_rebalance(
+        points, "E13 shard rebalancing: static vs adaptive vs "
+                "distributed under a moving hotspot "
+                "(weighted divergence)")
 
 
 def _cmd_readmodel(args: argparse.Namespace) -> str:
@@ -421,6 +449,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("rebalance",
+                       help="E13 shard-rebalancing sweep: static vs "
+                            "adaptive vs distributed allocation under "
+                            "a moving hotspot")
+    p.add_argument("--num-caches", type=int, nargs="+",
+                   default=list(CACHE_COUNTS),
+                   help="cache counts to sweep (1 runs the star "
+                        "control arm)")
+    p.add_argument("--sources", type=int, default=16)
+    p.add_argument("--objects", type=int, default=8,
+                   help="objects per source")
+    p.add_argument("--cache-bandwidth", type=float, default=24.0,
+                   help="aggregate cache-side msgs/s, split across "
+                        "cache links")
+    p.add_argument("--source-bandwidth", type=float, default=4.0,
+                   help="per-source msgs/s (also the hot sources' send "
+                        "ceiling)")
+    p.add_argument("--phases", type=int, default=4,
+                   help="hotspot phases over the horizon (the hot "
+                        "block advances by its own width each phase)")
+    p.add_argument("--hot-boost", type=float, default=25.0,
+                   help="update-rate multiplier on the hot block")
+    p.add_argument("--rate-range", type=float, nargs=2,
+                   default=[0.02, 0.12],
+                   help="uniform base update-rate range; keep it low "
+                        "enough that cold caches bank surplus")
+    p.add_argument("--interval", type=float, default=10.0,
+                   help="seconds between rebalance decision windows")
+    p.add_argument("--max-moves", type=int, default=2,
+                   help="migrations per decision window")
+    p.add_argument("--saturation-queue", type=int, default=2,
+                   help="windowed FIFO peak that flags a donor")
+    p.add_argument("--peer-rate", type=float, default=4.0,
+                   help="cache-to-cache peer link msgs/s")
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload sampling implementation")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
+    p.set_defaults(fn=_cmd_rebalance)
 
     p = sub.add_parser("readmodel",
                        help="replicated read model: quorum/any-replica "

@@ -1,0 +1,228 @@
+"""Shard-rebalancing experiment (E13): follow the heat or eat the queue.
+
+Static sharding is the paper's implicit multi-cache deployment model:
+each source reports to one fixed cache forever.  A moving hotspot
+(:func:`repro.workloads.hotspot.moving_hotspot`) breaks that model on
+purpose -- each phase a different contiguous source block updates
+``hot_boost`` times faster, so under a static block assignment each
+phase saturates a *different* cache link while the others idle with
+banked credit.  The :class:`~repro.rebalance.controller.Rebalancer`
+reads windowed link telemetry (FIFO peaks, banked surplus, per-source
+applied refreshes) at feedback-window boundaries and migrates the
+hottest shard of the most backlogged cache toward surplus bandwidth
+over cache-to-cache peer links.
+
+Four arms per cache count:
+
+* ``static`` -- today's fixed block sharding, no rebalancer object at
+  all (the pre-PR code path);
+* ``inert`` -- rebalancer armed with ``max_moves = 0``: peer links,
+  window telemetry and the decision ticker all run but no shard ever
+  moves.  Must match ``static`` **bit for bit** (the off-pin, same
+  discipline as the fault injector's empty plan);
+* ``adaptive`` -- the global rule: worst windowed backlog donates its
+  hottest source to the most surplus-rich uncongested cache;
+* ``distributed`` -- the Avrachenkov-style local baseline: each cache
+  compares itself with its ring neighbour only (O(1) state, no global
+  ranking).
+
+Verdicts: (1) ``inert == static`` bitwise at every cache count;
+(2) adaptive migrates at every count >= 2; (3) adaptive beats static on
+weighted divergence at every count >= 2.  The distributed arm is
+reported, not gated -- it is the cheap-coordination yardstick the
+adaptive rule must justify its global view against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.divergence import ValueDeviation
+from repro.core.priority import AreaPriority
+from repro.experiments.parallel import (
+    ParallelRunner,
+    WorkloadSpec,
+    build_workload,
+)
+from repro.experiments.runner import RunSpec, run_policy
+from repro.metrics.report import format_table
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.topology import TopologyConfig
+from repro.policies.cooperative import CooperativePolicy
+from repro.rebalance import RebalanceConfig
+from repro.workloads.hotspot import moving_hotspot
+
+ARMS = ("static", "inert", "adaptive", "distributed")
+CACHE_COUNTS = (1, 2, 4, 8)
+
+
+@dataclass
+class RebalancePoint:
+    """All four arms at one cache count."""
+
+    num_caches: int
+    divergence: dict[str, float] = field(default_factory=dict)
+    refreshes: dict[str, int] = field(default_factory=dict)
+    messages: dict[str, int] = field(default_factory=dict)
+    migrations: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class RebalanceCell:
+    """One picklable cache-count cell of the E13 sweep."""
+
+    num_caches: int
+    num_sources: int
+    objects_per_source: int
+    cache_bandwidth: float
+    source_bandwidth: float
+    num_phases: int
+    hot_boost: float
+    rate_lo: float
+    rate_hi: float
+    interval: float
+    max_moves: int
+    saturation_queue: int
+    peer_rate: float
+    warmup: float
+    measure: float
+    seed: int
+    generator: str
+
+
+def _rebalance_config(cell: RebalanceCell, arm: str) -> RebalanceConfig | None:
+    if arm == "static":
+        return None
+    mode = "distributed" if arm == "distributed" else "adaptive"
+    return RebalanceConfig(
+        interval=cell.interval, mode=mode,
+        saturation_queue=cell.saturation_queue,
+        max_moves=0 if arm == "inert" else cell.max_moves,
+        peer_rate=cell.peer_rate)
+
+
+def _run_rebalance_cell(cell: RebalanceCell) -> RebalancePoint:
+    """Worker-side cell: the four arms on one seeded hotspot workload."""
+    wspec = WorkloadSpec.make(
+        moving_hotspot, cell.seed, num_sources=cell.num_sources,
+        objects_per_source=cell.objects_per_source,
+        horizon=cell.warmup + cell.measure, num_phases=cell.num_phases,
+        hot_boost=cell.hot_boost, rate_range=(cell.rate_lo, cell.rate_hi),
+        generator=cell.generator)
+    workload = build_workload(wspec)
+    metric = ValueDeviation()
+    topology = (None if cell.num_caches == 1
+                else TopologyConfig(kind="sharded",
+                                    num_caches=cell.num_caches))
+    spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
+                   seed=cell.seed, topology=topology)
+    point = RebalancePoint(num_caches=cell.num_caches)
+    for arm in ARMS:
+        policy = CooperativePolicy(
+            ConstantBandwidth(cell.cache_bandwidth),
+            [ConstantBandwidth(cell.source_bandwidth)
+             for _ in range(cell.num_sources)],
+            priority_fn=AreaPriority(),
+            rebalance=_rebalance_config(cell, arm))
+        result = run_policy(workload, metric, policy, spec)
+        point.divergence[arm] = result.weighted_divergence
+        point.refreshes[arm] = result.refreshes
+        point.messages[arm] = policy.messages_total()
+        rebalancer = policy.rebalancer
+        point.migrations[arm] = (rebalancer.migrations
+                                 if rebalancer is not None else 0)
+    return point
+
+
+def run_rebalance(cache_counts: tuple[int, ...] = CACHE_COUNTS,
+                  num_sources: int = 16,
+                  objects_per_source: int = 8,
+                  cache_bandwidth: float = 24.0,
+                  source_bandwidth: float = 4.0,
+                  num_phases: int = 4,
+                  hot_boost: float = 25.0,
+                  rate_range: tuple[float, float] = (0.02, 0.12),
+                  interval: float = 10.0,
+                  max_moves: int = 2,
+                  saturation_queue: int = 2,
+                  peer_rate: float = 4.0,
+                  warmup: float = 100.0,
+                  measure: float = 400.0,
+                  seed: int = 0,
+                  generator: str = "vectorized",
+                  workers: int = 1) -> list[RebalancePoint]:
+    """Run the E13 arm x cache-count sweep on one seeded hotspot.
+
+    The workload and the aggregate bandwidth are identical across cache
+    counts -- the only thing that changes is how many ways the links and
+    the source blocks are split, so divergence differences are pure
+    allocation effects.  ``workers`` > 1 fans the cells over a process
+    pool with bit-identical results.
+    """
+    for count in cache_counts:
+        if count < 1:
+            raise ValueError(f"cache counts must be >= 1, got {count}")
+    cells = [RebalanceCell(
+        num_caches=count, num_sources=num_sources,
+        objects_per_source=objects_per_source,
+        cache_bandwidth=cache_bandwidth,
+        source_bandwidth=source_bandwidth, num_phases=num_phases,
+        hot_boost=hot_boost, rate_lo=rate_range[0], rate_hi=rate_range[1],
+        interval=interval, max_moves=max_moves,
+        saturation_queue=saturation_queue, peer_rate=peer_rate,
+        warmup=warmup, measure=measure, seed=seed, generator=generator)
+        for count in cache_counts]
+    return ParallelRunner(workers).map(_run_rebalance_cell, cells)
+
+
+# ----------------------------------------------------------------------
+# Structural verdicts
+# ----------------------------------------------------------------------
+def inert_matches_static(points: list[RebalancePoint]) -> bool:
+    """True when the armed-but-idle rebalancer changed *nothing*: same
+    weighted divergence and the same applied-refresh count, bit for bit,
+    at every cache count (the E13 off-pin)."""
+    return bool(points) and all(
+        p.divergence["inert"] == p.divergence["static"]
+        and p.refreshes["inert"] == p.refreshes["static"]
+        for p in points)
+
+
+def adaptive_migrates(points: list[RebalancePoint]) -> bool:
+    """True when the adaptive arm actually moved shards at every cache
+    count >= 2 (a zero-migration win would be vacuous)."""
+    multi = [p for p in points if p.num_caches >= 2]
+    return bool(multi) and all(
+        p.migrations["adaptive"] > 0 for p in multi)
+
+
+def adaptive_beats_static(points: list[RebalancePoint]) -> bool:
+    """True when adaptive rebalancing strictly lowers weighted divergence
+    vs the static block assignment at every cache count >= 2."""
+    multi = [p for p in points if p.num_caches >= 2]
+    return bool(multi) and all(
+        p.divergence["adaptive"] < p.divergence["static"] for p in multi)
+
+
+def render_rebalance(points: list[RebalancePoint], title: str) -> str:
+    """The sweep as a table plus the three structural verdict lines."""
+    rows = [
+        [p.num_caches]
+        + [p.divergence.get(arm, float("nan")) for arm in ARMS]
+        + [p.migrations.get("adaptive", 0), p.migrations.get("distributed", 0)]
+        for p in points
+    ]
+    table = format_table(
+        ["caches", *ARMS, "moves(adapt)", "moves(dist)"], rows, title=title)
+    verdicts = [
+        ("inert rebalancer == static sharding (bitwise): "
+         + ("yes" if inert_matches_static(points)
+            else "WARNING: diverged")),
+        ("adaptive migrates at every cache count >= 2: "
+         + ("yes" if adaptive_migrates(points)
+            else "WARNING: no migrations")),
+        ("adaptive beats static at every cache count >= 2: "
+         + ("yes" if adaptive_beats_static(points)
+            else "WARNING: violated")),
+    ]
+    return "\n".join([table, *verdicts])

@@ -50,6 +50,32 @@ class BandwidthProfile(ABC):
         """
         return None
 
+    def mean_rate_over(self, t0: float, t1: float) -> float:
+        """Span-weighted average rate over ``[t0, t1]``."""
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        return self.capacity(t0, t1) / (t1 - t0)
+
+    def first_time_at_capacity(self, t0: float,
+                               needed: float) -> float | None:
+        """Earliest ``t`` with ``capacity(t0, t) >= needed``.
+
+        The generic answer exists only for steady profiles (closed-form
+        division); :class:`TraceBandwidth` overrides with a bisection on
+        its cumulative array, :class:`ScaledBandwidth` delegates with the
+        factor applied.  ``None`` means the capacity is never earned.
+        """
+        if needed <= 0.0:
+            return t0
+        steady = self.steady_rate
+        if steady is None:
+            raise NotImplementedError(
+                f"{type(self).__name__} is not steady and does not "
+                f"implement first_time_at_capacity")
+        if steady <= 0.0:
+            return None
+        return t0 + needed / steady
+
     def scaled(self, factor: float) -> "BandwidthProfile":
         """This profile multiplied by a constant factor.
 
@@ -377,6 +403,27 @@ class ScaledBandwidth(BandwidthProfile):
     def steady_rate(self) -> float | None:
         base = self.base.steady_rate
         return None if base is None else base * self.factor
+
+    def mean_rate_over(self, t0: float, t1: float) -> float:
+        """Span-weighted average rate over ``[t0, t1]``, factor applied."""
+        if t1 <= t0:
+            raise ValueError(f"need t1 > t0, got [{t0}, {t1}]")
+        return self.capacity(t0, t1) / (t1 - t0)
+
+    def first_time_at_capacity(self, t0: float,
+                               needed: float) -> float | None:
+        """Earliest ``t`` with ``capacity(t0, t) >= needed``.
+
+        Delegates to the base profile with the requirement divided by the
+        scale factor: the scaled view earns ``needed`` exactly when the
+        base earns ``needed / factor``.  A zero factor can never earn
+        anything, mirroring a trailing-zero trace.
+        """
+        if needed <= 0.0:
+            return t0
+        if self.factor <= 0.0:
+            return None
+        return self.base.first_time_at_capacity(t0, needed / self.factor)
 
     def __repr__(self) -> str:
         return f"ScaledBandwidth({self.base!r}, factor={self.factor!r})"

@@ -57,7 +57,8 @@ class Link:
                  "_last_accrue", "_tick_added", "_const_rate", "_trace",
                  "_lazy", "_synced_tick", "_synced_boundary", "on_queue",
                  "tick_capacity", "tick_used", "total_sent",
-                 "total_delivered", "total_queued_peak")
+                 "total_delivered", "total_queued_peak",
+                 "_window_queued_peak")
 
     def __init__(self, name: str, profile: BandwidthProfile,
                  deliver: DeliveryCallback | None = None) -> None:
@@ -93,6 +94,7 @@ class Link:
         self.total_sent = 0
         self.total_delivered = 0
         self.total_queued_peak = 0
+        self._window_queued_peak = 0
 
     # ------------------------------------------------------------------
     # Credit management
@@ -401,8 +403,11 @@ class Link:
         """Accept a message unconditionally; it transmits as credit allows."""
         self.queue.append(message)
         self.total_sent += 1
-        if len(self.queue) > self.total_queued_peak:
-            self.total_queued_peak = len(self.queue)
+        depth = len(self.queue)
+        if depth > self.total_queued_peak:
+            self.total_queued_peak = depth
+        if depth > self._window_queued_peak:
+            self._window_queued_peak = depth
         if self.on_queue is not None:
             self.on_queue(message)
 
@@ -480,6 +485,30 @@ class Link:
         if self.queue:
             return 0.0
         return self.credit
+
+    def queued_peak_since(self) -> int:
+        """Worst FIFO depth since the last :meth:`reset_queued_peak`.
+
+        ``total_queued_peak`` latches its lifetime max, so a controller
+        reading it sees a cache as saturated forever after one burst; the
+        windowed peak answers "was this link congested *recently*" and is
+        what the rebalancer's decision rule consumes.  The current
+        backlog counts toward the window even if nothing new was
+        enqueued since the reset (a standing queue is still congestion).
+        """
+        depth = len(self.queue)
+        if depth > self._window_queued_peak:
+            return depth
+        return self._window_queued_peak
+
+    def reset_queued_peak(self) -> None:
+        """Start a fresh observation window for :meth:`queued_peak_since`.
+
+        The window restarts at the *current* backlog, not zero: messages
+        already waiting will be the first peak of the new window.  The
+        lifetime ``total_queued_peak`` is untouched.
+        """
+        self._window_queued_peak = len(self.queue)
 
     def utilization(self) -> float:
         """Fraction of this tick's capacity actually used (0 when idle)."""

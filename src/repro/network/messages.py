@@ -79,6 +79,35 @@ class FeedbackMessage(Message):
 
 
 @dataclass(slots=True)
+class MigrateMessage(Message):
+    """Cache -> cache: hand one source's cached state to a peer.
+
+    Sent over a cache-to-cache transfer link when the rebalancer moves
+    ``source_id`` from ``from_cache`` to ``cache_id``.  ``items`` carries
+    the donor's store snapshots ``(object_index, value, update_count)``;
+    the receiver applies each only if at least as fresh as what it holds
+    (late refreshes may have raced ahead over the re-routed source link).
+    ``threshold`` is the donor feedback controller's learned threshold so
+    the recipient does not restart the Sec 5 bootstrap from infinity.
+
+    Unlike :class:`BatchRefreshMessage` (the paper's one-unit amortized
+    batch), a migration pays for what it moves: ``size`` scales with the
+    item count, so a whole-shard handoff honestly competes for peer-link
+    credit.  A single-item instance doubles as the replica *seed* message
+    (fresh value forwarded to a sibling for one unit instead of a source
+    round-trip); seeds carry no threshold and never touch feedback.
+    """
+
+    items: list[tuple[int, float, int]] = field(default_factory=list)
+    threshold: float = float("inf")  #: donor's learned threshold (inf = seed)
+    from_cache: int = 0  #: donor cache id
+
+    @property
+    def size(self) -> float:
+        return MESSAGE_SIZE * max(1, len(self.items))
+
+
+@dataclass(slots=True)
 class PollRequest(Message):
     """Cache -> source: CGM polling request for one object."""
 

@@ -107,6 +107,11 @@ class Topology(ABC):
         self._reliable = None
         self._delivery_guard: Callable[[Message, int], bool] | None = None
         self._crash_listeners: dict[int, list[Callable[[float], None]]] = {}
+        # Cache-to-cache transfer links (rebalancer migrations, replica
+        # seeding).  Empty unless a controller installs some; the tick
+        # loop then iterates nothing, keeping the no-peer path exact.
+        self._peer_links: dict[tuple[int, int], Link] = {}
+        self._peer_link_list: list[Link] = []
         self._classify_links()
 
     def _classify_links(self) -> None:
@@ -290,10 +295,75 @@ class Topology(ABC):
         for link in self.cache_links:
             link.refill(now)
             link.drain()
+        for link in self._peer_link_list:
+            link.refill(now)
+            link.drain()
 
     def drain_cache(self, cache_id: int) -> int:
         """Second in-tick drain of one cache link (the CACHE phase)."""
         return self.cache_links[cache_id].drain()
+
+    # ------------------------------------------------------------------
+    # Cache-to-cache transfer links
+    # ------------------------------------------------------------------
+    def add_peer_link(self, from_cache: int, to_cache: int,
+                      profile: BandwidthProfile,
+                      now: float = 0.0) -> Link:
+        """Install a directed transfer link between two cache nodes.
+
+        Peer links carry migrations and replica seeds; they are refilled
+        and drained in the NETWORK phase like cache links but deliver
+        straight to the destination cache's receiver (no fault guard:
+        they model an internal backbone, not the source-edge paths the
+        injector perturbs).  ``now`` anchors credit accrual at the
+        installation time so a link created mid-run does not bank the
+        whole elapsed history on its first refill.
+        """
+        if from_cache == to_cache:
+            raise ValueError(f"peer link {from_cache}->{to_cache} is a loop")
+        for k in (from_cache, to_cache):
+            if not 0 <= k < self.num_caches:
+                raise ValueError(f"unknown cache {k} for peer link")
+        key = (from_cache, to_cache)
+        if key in self._peer_links:
+            raise ValueError(f"peer link {from_cache}->{to_cache} exists")
+        link = Link(f"peer-{from_cache}-{to_cache}", profile,
+                    deliver=self._make_peer_deliver(to_cache))
+        link._last_accrue = now
+        self._peer_links[key] = link
+        self._peer_link_list.append(link)
+        return link
+
+    def peer_link(self, from_cache: int, to_cache: int) -> Link | None:
+        """The directed transfer link between two caches, if installed."""
+        return self._peer_links.get((from_cache, to_cache))
+
+    def send_peer(self, message: Message) -> bool:
+        """Cache ``from_cache`` -> cache ``cache_id`` over the peer link.
+
+        The message (a :class:`~repro.network.messages.MigrateMessage`)
+        consumes peer-link credit proportional to its payload and queues
+        FIFO when the link is saturated.  Returns True when delivered
+        in-tick.  Raises when no such link exists: migrations must never
+        silently teleport state.
+        """
+        key = (message.from_cache, message.cache_id)
+        link = self._peer_links.get(key)
+        if link is None:
+            raise ValueError(f"no peer link {key[0]}->{key[1]} installed")
+        return link.transmit_or_queue(message)
+
+    def _make_peer_deliver(self, cache_id: int) -> "Receiver":
+        def deliver(message: Message) -> None:
+            receiver = self._cache_receiver_of(cache_id)
+            if receiver is not None:
+                receiver(message)
+        return deliver
+
+    def _cache_receiver_of(self, cache_id: int) -> "Receiver | None":
+        """The registered receiver of one cache (topology-specific slot)."""
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support peer links")
 
     # ------------------------------------------------------------------
     # Sending
@@ -387,8 +457,15 @@ class Topology(ABC):
         return max((link.total_queued_peak for link in self.cache_links),
                    default=0)
 
-    def telemetry(self) -> dict:
-        """Per-cache capacity counters, for reports and diagnostics."""
+    def telemetry(self, now: float | None = None) -> dict:
+        """Per-cache capacity counters, for reports and diagnostics.
+
+        ``now`` forwards to each link's :meth:`Link.surplus` so the
+        reported ``cache_surplus`` folds in credit accrued since the
+        link was last touched (the stale-credit pitfall PR 5 fixed);
+        reports pass the simulation clock instead of hand-rolling
+        per-cache ``cache_surplus`` calls.
+        """
         injector = self._fault_injector
         reliable = self._reliable
         return {
@@ -398,6 +475,8 @@ class Topology(ABC):
             "cache_queued": [link.queued for link in self.cache_links],
             "cache_queued_peak": [link.total_queued_peak
                                   for link in self.cache_links],
+            "cache_surplus": [link.surplus(now)
+                              for link in self.cache_links],
             "dropped": injector.dropped if injector is not None else 0,
             "retransmitted": (reliable.retransmitted
                               if reliable is not None else 0),
@@ -462,6 +541,9 @@ class StarTopology(Topology):
     def set_source_receiver(self, source_id: int,
                             receiver: Receiver) -> None:
         self._source_receivers[source_id] = receiver
+
+    def _cache_receiver_of(self, cache_id: int) -> Receiver | None:
+        return self._cache_receiver
 
     # ------------------------------------------------------------------
     # Sending
@@ -621,6 +703,41 @@ class MultiCacheTopology(Topology):
     def owned_sources_of(self, cache_id: int) -> tuple[int, ...]:
         return self._owned_by_cache[cache_id]
 
+    def reassign_source(self, source_id: int, cache_id: int) -> int:
+        """Re-home a sharded source to a new primary cache; returns the old.
+
+        Routing flips immediately: the next upstream refresh lands on the
+        new cache's link, and :meth:`caches_of`/:meth:`owned_sources_of`
+        reflect the move (the precomputed membership tuples are rebuilt
+        for the two affected caches only).  Messages already sitting in
+        the old cache's FIFO still deliver there -- exactly the in-flight
+        window the migration protocol's freshness counters tolerate.
+        Only single-target (sharded) sources can migrate; a replicated
+        source's copies are load-balanced by construction.
+        """
+        if not 0 <= source_id < self.num_sources:
+            raise ValueError(f"unknown source {source_id}")
+        if not 0 <= cache_id < self.num_caches:
+            raise ValueError(f"unknown cache {cache_id}")
+        targets = self._assignment[source_id]
+        if len(targets) != 1:
+            raise ValueError(
+                f"source {source_id} is replicated to {targets}; only "
+                f"sharded sources can be re-homed")
+        old = targets[0]
+        if cache_id == old:
+            raise ValueError(
+                f"source {source_id} is already homed on cache {cache_id}")
+        self._assignment[source_id] = (cache_id,)
+        for k in (old, cache_id):
+            members = tuple(
+                j for j in range(self.num_sources)
+                if k in self._assignment[j])
+            self._sources_by_cache[k] = members
+            self._owned_by_cache[k] = tuple(
+                j for j in members if self._assignment[j][0] == k)
+        return old
+
     # ------------------------------------------------------------------
     # Wiring
     # ------------------------------------------------------------------
@@ -631,6 +748,9 @@ class MultiCacheTopology(Topology):
     def set_source_receiver(self, source_id: int,
                             receiver: Receiver) -> None:
         self._source_receivers[source_id] = receiver
+
+    def _cache_receiver_of(self, cache_id: int) -> Receiver | None:
+        return self._cache_receivers[cache_id]
 
     def _make_cache_deliver(self, cache_id: int) -> Receiver:
         def deliver(message: Message) -> None:
@@ -703,7 +823,8 @@ class MultiCacheTopology(Topology):
 
     def total_messages(self) -> int:
         return (sum(link.total_sent for link in self._cache_links)
-                + sum(link.total_sent for link in self.source_links))
+                + sum(link.total_sent for link in self.source_links)
+                + sum(link.total_sent for link in self._peer_link_list))
 
 
 # ----------------------------------------------------------------------

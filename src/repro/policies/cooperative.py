@@ -79,6 +79,12 @@ class CooperativePolicy(SyncPolicy):
         the silence as flood pressure and instead decays its threshold
         by ``1/omega`` per TTL elapsed, drifting back toward the uniform
         allocation.  ``None`` (default) keeps the paper's pure protocol.
+    rebalance:
+        A :class:`~repro.rebalance.controller.RebalanceConfig` to run a
+        shard rebalancer over this policy's caches (multi-cache sharded
+        topologies; inert on a star).  ``None`` (default) leaves every
+        code path exactly as without the feature -- the same pin
+        discipline as the fault injector's empty plan.
     scheduling:
         ``"event"`` (default): sources and caches are woken per entity by
         a :class:`~repro.sim.events.WakeupSet` only when they have work
@@ -106,7 +112,8 @@ class CooperativePolicy(SyncPolicy):
                  batch_size: int = 1,
                  batch_timeout: float = 5.0,
                  scheduling: str = "event",
-                 feedback_ttl: float | None = None) -> None:
+                 feedback_ttl: float | None = None,
+                 rebalance=None) -> None:
         if scheduling not in ("event", "tick"):
             raise ValueError(f"unknown scheduling mode {scheduling!r}")
         self.scheduling = scheduling
@@ -124,6 +131,8 @@ class CooperativePolicy(SyncPolicy):
         self.batch_size = batch_size
         self.batch_timeout = batch_timeout
         self.feedback_ttl = feedback_ttl
+        self.rebalance = rebalance
+        self.rebalancer = None
         self.topology: Topology | None = None
         self.caches: list[CacheNode] = []
         self.stores: list[CacheStore] = []
@@ -236,6 +245,14 @@ class CooperativePolicy(SyncPolicy):
         if self.reprioritize_interval is not None:
             ctx.sim.every(self.reprioritize_interval,
                           self._reprioritize_all, phase=Phase.SOURCES)
+        self.rebalancer = None
+        if self.rebalance is not None:
+            # Local import: the rebalance package imports cache/topology
+            # modules, and policies must stay importable without it.
+            from repro.rebalance.controller import Rebalancer
+            self.rebalancer = Rebalancer(self.rebalance, topology,
+                                         self.caches)
+            self.rebalancer.install(ctx)
         self._ctx = ctx
 
     def _feedback_period_for(self, source_id: int,
@@ -389,5 +406,8 @@ class CooperativePolicy(SyncPolicy):
                                  if self.topology else 0),
         }
         if self.topology is not None and self.topology.num_caches > 1:
-            extras["topology"] = self.topology.telemetry()
+            extras["topology"] = self.topology.telemetry(
+                now=self._ctx.sim.now)
+        if self.rebalancer is not None:
+            extras["rebalance"] = self.rebalancer.telemetry()
         return extras

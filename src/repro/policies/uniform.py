@@ -259,5 +259,6 @@ class UniformAllocationPolicy(SyncPolicy):
                                  if self.topology else 0),
         }
         if self.topology is not None and self.topology.num_caches > 1:
-            extras["topology"] = self.topology.telemetry()
+            extras["topology"] = self.topology.telemetry(
+                now=self._ctx.sim.now)
         return extras

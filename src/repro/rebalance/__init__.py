@@ -1,0 +1,19 @@
+"""Telemetry-driven shard rebalancing across cache nodes (E13).
+
+The cooperative protocol steers each cache's *own* bandwidth toward the
+objects that need it, but a sharded edge has a second allocation axis the
+paper leaves open: which cache a source reports to.  This package closes
+the loop on the topology telemetry built up through PRs 1-8 -- windowed
+queue peaks, accrued surplus, divergence-removed-per-message -- with a
+:class:`~repro.rebalance.controller.Rebalancer` that migrates whole
+source shards from a saturated cache to one with surplus over dedicated
+cache-to-cache transfer links.
+
+See DESIGN.md Sec 14 for the decision rule, the migration-exactness
+argument (truth views never move, so divergence accounting is exact),
+and the peer-link credit model.
+"""
+
+from repro.rebalance.controller import RebalanceConfig, Rebalancer
+
+__all__ = ["RebalanceConfig", "Rebalancer"]

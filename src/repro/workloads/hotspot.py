@@ -67,3 +67,85 @@ def hotspot_shards(num_sources: int, objects_per_source: int,
                     rates=rates, trace=trace,
                     weights=StaticWeights.uniform(n_total),
                     horizon=horizon)
+
+
+def moving_hotspot(num_sources: int, objects_per_source: int,
+                   horizon: float, rng: np.random.Generator,
+                   num_phases: int = 4,
+                   hot_fraction: float = 0.25,
+                   hot_boost: float = 8.0,
+                   rate_range: tuple[float, float] = (0.0, 1.0),
+                   generator: str = "vectorized") -> Workload:
+    """A hot source block that *moves* across the shard space over time.
+
+    The horizon is split into ``num_phases`` equal windows; in phase
+    ``p`` the contiguous block of ``round(hot_fraction * num_sources)``
+    sources starting at ``(p * num_hot) % num_sources`` updates
+    ``hot_boost`` times faster (the block advances by its own width each
+    phase, sweeping the whole id space when
+    ``num_phases * hot_fraction >= 1``).  Under a static block shard
+    assignment each phase saturates a *different* cache while the
+    others idle -- the adversarial regime for static sharding and the
+    target regime for a rebalancer that follows the heat.
+
+    ``rates`` reports each object's time-averaged rate (what a policy
+    that assumes stationarity gets to know); the trace itself is
+    piecewise-Poisson per phase.  Weights stay uniform, as in
+    :func:`hotspot_shards`.
+    """
+    _check_generator(generator)
+    if num_phases < 1:
+        raise ValueError(f"num_phases must be >= 1, got {num_phases}")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError(
+            f"hot_fraction must be in [0, 1], got {hot_fraction}")
+    if hot_boost < 1.0:
+        raise ValueError(f"hot_boost must be >= 1, got {hot_boost}")
+    n_total = num_sources * objects_per_source
+    base_rates = rng.uniform(*rate_range, size=n_total)
+    num_hot = int(round(hot_fraction * num_sources))
+    phase_len = horizon / num_phases
+
+    def phase_rates(p: int) -> np.ndarray:
+        rates = base_rates.copy()
+        if num_hot:
+            hot = [((p * num_hot + i) % num_sources)
+                   for i in range(num_hot)]
+            for src in hot:
+                lo = src * objects_per_source
+                rates[lo:lo + objects_per_source] *= hot_boost
+        return rates
+
+    if generator == "vectorized":
+        all_times: list[np.ndarray] = []
+        all_owners: list[np.ndarray] = []
+        for p in range(num_phases):
+            times, owners = poisson_times_batch(phase_rates(p), phase_len,
+                                                rng)
+            all_times.append(times + p * phase_len)
+            all_owners.append(owners)
+        times = np.concatenate(all_times)
+        owners = np.concatenate(all_owners)
+        # Regroup the per-phase streams into the object-major layout
+        # _trace_from_event_stream requires (owner-grouped, time-sorted
+        # within each group).
+        order = np.lexsort((times, owners))
+        trace = _trace_from_event_stream(times[order], owners[order],
+                                         rng, n_total)
+    else:
+        per_phase = [phase_rates(p) for p in range(num_phases)]
+        times_per_object = [
+            np.concatenate([
+                poisson_times(per_phase[p][i], phase_len, rng)
+                + p * phase_len
+                for p in range(num_phases)])
+            for i in range(n_total)
+        ]
+        trace = _trace_from_times(times_per_object, rng, n_total)
+    avg_rates = np.mean([phase_rates(p) for p in range(num_phases)],
+                        axis=0)
+    return Workload(num_sources=num_sources,
+                    objects_per_source=objects_per_source,
+                    rates=avg_rates, trace=trace,
+                    weights=StaticWeights.uniform(n_total),
+                    horizon=horizon)

@@ -1,0 +1,770 @@
+"""Shard rebalancing: telemetry windows, warm migration, the E13 sweep.
+
+Covers the rebalance subsystem end to end -- windowed link-queue peaks,
+the surplus field in topology telemetry, the feedback controller's
+remove/add source lifecycle, routing reassignment, peer links and
+migration-message credit, migration freshness discipline, the moving
+hotspot workload, the E13 experiment driver with its verdicts -- plus
+the satellite hardening: ``ScaledBandwidth`` capacity delegation pinned
+against an eager-materialized trace, and the ``Workload.shard`` /
+``UpdateTrace.subset`` migration round-trips.
+
+The pre-PR off-pins at the bottom freeze five policies x two layouts
+with *no* rebalancer configured: those numbers were captured on the
+commit before this subsystem existed and must never move.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.cache import CacheNode, WindowStats
+from repro.cache.feedback import FeedbackController
+from repro.cache.store import CacheStore
+from repro.cli import main as cli_main
+from repro.core.divergence import ValueDeviation
+from repro.core.objects import DataObject
+from repro.core.priority import AreaPriority
+from repro.experiments.netcond import _make_policy
+from repro.experiments.rebalance import (
+    ARMS,
+    RebalanceCell,
+    RebalancePoint,
+    _run_rebalance_cell,
+    adaptive_beats_static,
+    adaptive_migrates,
+    inert_matches_static,
+    render_rebalance,
+    run_rebalance,
+)
+from repro.experiments.runner import RunSpec, run_policy
+from repro.network.bandwidth import (
+    ConstantBandwidth,
+    ScaledBandwidth,
+    TraceBandwidth,
+)
+from repro.network.link import Link
+from repro.network.messages import MigrateMessage, RefreshMessage
+from repro.network.topology import (
+    MultiCacheTopology,
+    StarTopology,
+    TopologyConfig,
+)
+from repro.policies.cooperative import CooperativePolicy
+from repro.rebalance import RebalanceConfig, Rebalancer
+from repro.workloads.hotspot import hotspot_shards, moving_hotspot
+from repro.workloads.synthetic import uniform_random_walk
+
+
+def small_workload(num_sources=6, objects_per_source=3, horizon=120.0,
+                   seed=0):
+    rng = np.random.default_rng(seed)
+    return uniform_random_walk(num_sources=num_sources,
+                               objects_per_source=objects_per_source,
+                               horizon=horizon, rng=rng)
+
+
+def cooperative(workload, cache=10.0, source=2.0, **kwargs):
+    return CooperativePolicy(
+        ConstantBandwidth(cache),
+        [ConstantBandwidth(source) for _ in range(workload.num_sources)],
+        priority_fn=AreaPriority(), **kwargs)
+
+
+def multi_topology(num_caches=2, num_sources=4, cache=5.0, source=2.0):
+    return MultiCacheTopology(
+        [ConstantBandwidth(cache)] * num_caches,
+        [ConstantBandwidth(source)] * num_sources)
+
+
+# ----------------------------------------------------------------------
+# Satellite 1: windowed link-queue peak
+# ----------------------------------------------------------------------
+class TestWindowedQueuePeak:
+    def make_congested_link(self):
+        delivered = []
+        # 1 msg/s: at t=0 only one message fits, the rest queue.
+        link = Link("l", ConstantBandwidth(1.0), deliver=delivered.append)
+        link.refill(1.0)
+        for j in range(4):
+            link.transmit_or_queue(RefreshMessage(source_id=j,
+                                                  sent_at=1.0))
+        return link, delivered
+
+    def test_window_peak_tracks_and_resets(self):
+        link, _ = self.make_congested_link()
+        assert link.total_queued_peak == 3
+        assert link.queued_peak_since() == 3
+        link.refill(10.0)
+        link.drain()
+        link.reset_queued_peak()
+        # The window restarts at the *current* depth (now 0), while the
+        # lifetime latch keeps the historical burst.
+        assert link.queued_peak_since() == 0
+        assert link.total_queued_peak == 3
+
+    def test_reset_floors_at_current_depth(self):
+        link, _ = self.make_congested_link()
+        link.reset_queued_peak()
+        # Still 3 queued: a reset cannot pretend the backlog is gone.
+        assert link.queued_peak_since() == 3
+
+    def test_lifetime_counter_unchanged_by_windows(self):
+        link, _ = self.make_congested_link()
+        before = link.total_queued_peak
+        for _ in range(5):
+            link.reset_queued_peak()
+            link.queued_peak_since()
+        assert link.total_queued_peak == before
+
+    def test_topology_telemetry_reports_lifetime_peak(self):
+        topology = multi_topology(num_caches=2, cache=1.0)
+        topology.set_cache_receiver(lambda m: None, cache_id=0)
+        topology.on_network_tick(1.0)
+        for j in range(4):
+            topology.cache_links[0].transmit_or_queue(
+                RefreshMessage(source_id=j, sent_at=1.0, cache_id=0))
+        topology.cache_links[0].reset_queued_peak()
+        # telemetry()'s queued_peak stays the lifetime latch even after
+        # a rebalance window reset.
+        assert topology.telemetry()["cache_queued_peak"] == [3, 0]
+
+
+# ----------------------------------------------------------------------
+# Satellite 2: surplus in topology telemetry
+# ----------------------------------------------------------------------
+class TestTopologySurplusTelemetry:
+    def test_cache_surplus_reported(self):
+        topology = multi_topology(num_caches=3)
+        topology.on_network_tick(1.0)
+        stats = topology.telemetry(now=1.0)
+        assert len(stats["cache_surplus"]) == 3
+        assert all(s > 0.0 for s in stats["cache_surplus"])
+
+    def test_clockless_telemetry_reads_banked_credit(self):
+        topology = multi_topology(num_caches=2)
+        topology.on_network_tick(1.0)
+        stats = topology.telemetry()
+        banked = [link.credit for link in topology.cache_links]
+        assert stats["cache_surplus"] == banked
+
+    def test_policy_extras_route_through_telemetry(self):
+        workload = small_workload()
+        spec = RunSpec(warmup=20.0, measure=60.0, seed=0,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=2))
+        for name in ("cooperative", "uniform"):
+            policy = _make_policy(
+                name, ConstantBandwidth(8.0),
+                [ConstantBandwidth(2.0)
+                 for _ in range(workload.num_sources)],
+                workload.num_objects)
+            result = run_policy(workload, ValueDeviation(), policy, spec)
+            topo = result.extras["topology"]
+            assert len(topo["cache_surplus"]) == 2
+
+
+# ----------------------------------------------------------------------
+# Satellite 3: ScaledBandwidth capacity delegation
+# ----------------------------------------------------------------------
+class TestScaledBandwidthDelegation:
+    def test_mean_rate_over_scales(self):
+        half = ScaledBandwidth(ConstantBandwidth(8.0), 0.5)
+        assert half.mean_rate_over(2.0, 6.0) == pytest.approx(4.0)
+        with pytest.raises(ValueError):
+            half.mean_rate_over(6.0, 6.0)
+
+    def test_first_time_at_capacity_steady(self):
+        half = ScaledBandwidth(ConstantBandwidth(8.0), 0.5)
+        assert half.first_time_at_capacity(1.0, 8.0) == pytest.approx(3.0)
+        assert half.first_time_at_capacity(1.0, 0.0) == 1.0
+        dead = ScaledBandwidth(ConstantBandwidth(8.0), 0.0)
+        assert dead.first_time_at_capacity(1.0, 8.0) is None
+
+    def test_fuzz_pins_vs_eager_materialized_trace(self):
+        """Scaled(trace, f) answers exactly like the trace with every
+        rate pre-multiplied by f -- the lazy wrapper may not drift from
+        eager materialization."""
+        rng = np.random.default_rng(42)
+        for _ in range(20):
+            n = int(rng.integers(2, 12))
+            times = np.cumsum(rng.uniform(0.5, 3.0, size=n))
+            rates = rng.uniform(0.0, 5.0, size=n)
+            factor = float(rng.uniform(0.1, 2.5))
+            lazy = ScaledBandwidth(TraceBandwidth(times, rates), factor)
+            eager = TraceBandwidth(times, rates * factor)
+            for _ in range(10):
+                t0 = float(rng.uniform(times[0] - 1.0, times[-1] + 2.0))
+                t1 = t0 + float(rng.uniform(0.1, 5.0))
+                assert lazy.mean_rate_over(t0, t1) == pytest.approx(
+                    eager.mean_rate_over(t0, t1), rel=1e-9)
+                needed = float(rng.uniform(0.0, 8.0))
+                got = lazy.first_time_at_capacity(t0, needed)
+                want = eager.first_time_at_capacity(t0, needed)
+                if want is None:
+                    assert got is None
+                else:
+                    assert got == pytest.approx(want, abs=1e-6)
+
+
+# ----------------------------------------------------------------------
+# Satellite 4: shard/subset migration round-trips
+# ----------------------------------------------------------------------
+class TestShardSubsetRoundTrip:
+    def test_reshard_preserves_event_order(self):
+        """Splitting a workload into disjoint shards and replaying them
+        against the original stream consumes every event exactly once,
+        in order -- the property a migration re-slice relies on."""
+        workload = small_workload(num_sources=6, objects_per_source=2,
+                                  horizon=60.0, seed=7)
+        groups = [np.array([0, 3]), np.array([1, 4]), np.array([2, 5])]
+        shards = [workload.shard(g) for g in groups]
+        cursors = [0] * len(groups)
+        ops = workload.objects_per_source
+        for time, index, value in workload.trace:
+            source = index // ops
+            g = next(i for i, grp in enumerate(groups) if source in grp)
+            shard, k = shards[g], cursors[g]
+            assert float(shard.trace.times[k]) == time
+            local_src = int(np.where(groups[g] == source)[0][0])
+            local = local_src * ops + index % ops
+            assert int(shard.trace.object_indices[k]) == local
+            assert float(shard.trace.values[k]) == value
+            cursors[g] += 1
+        assert cursors == [len(s.trace) for s in shards]
+
+    def test_full_subset_is_identity(self):
+        workload = small_workload(num_sources=4, objects_per_source=2,
+                                  horizon=40.0, seed=1)
+        whole = workload.shard(np.arange(4))
+        np.testing.assert_array_equal(whole.trace.times,
+                                      workload.trace.times)
+        np.testing.assert_array_equal(whole.trace.object_indices,
+                                      workload.trace.object_indices)
+        np.testing.assert_array_equal(whole.trace.values,
+                                      workload.trace.values)
+
+    def test_empty_shard_is_valid_and_empty(self):
+        workload = small_workload(num_sources=4, objects_per_source=2)
+        empty = workload.shard(np.array([], dtype=np.int64))
+        assert empty.num_sources == 0
+        assert len(empty.trace) == 0
+
+    def test_overlapping_and_out_of_range_raise(self):
+        workload = small_workload(num_sources=4, objects_per_source=2)
+        with pytest.raises(ValueError):
+            workload.shard(np.array([1, 1]))
+        with pytest.raises(ValueError):
+            workload.shard(np.array([4]))
+        with pytest.raises(ValueError):
+            workload.trace.subset(np.array([0, 0]))
+        with pytest.raises(ValueError):
+            workload.trace.subset(np.array([-1]))
+
+
+# ----------------------------------------------------------------------
+# Feedback controller: source remove / add lifecycle
+# ----------------------------------------------------------------------
+class TestFeedbackSourceLifecycle:
+    def make_controller(self, num_sources=4):
+        topology = StarTopology(ConstantBandwidth(10.0),
+                                [ConstantBandwidth(2.0)] * num_sources)
+        return FeedbackController(topology, omega=10.0)
+
+    def test_remove_returns_learned_threshold(self):
+        fb = self.make_controller()
+        fb.observe_threshold(2, 0.5)
+        assert fb.remove_source(2) == 0.5
+        with pytest.raises(ValueError):
+            fb.remove_source(2)
+
+    def test_removed_source_cannot_resurrect_via_observe(self):
+        fb = self.make_controller()
+        fb.remove_source(1)
+        fb.observe_threshold(1, 3.0)  # late in-flight refresh
+        assert 1 not in fb._position
+        # And its parked slot stays at the floor (ineligible).
+        assert fb.known_thresholds[1] == fb.min_threshold
+
+    def test_stale_heap_entries_skipped_after_removal(self):
+        fb = self.make_controller()
+        for sid in range(4):
+            fb.observe_threshold(sid, 10.0 - sid)
+        fb.remove_source(0)
+        # Selecting must skip source 0's stale heap entries, not KeyError.
+        targets = fb._select_targets(3)[0]
+        assert 0 not in targets
+        assert len(targets) == 3
+
+    def test_readd_restores_threshold_and_slot(self):
+        fb = self.make_controller()
+        fb.observe_threshold(3, 0.25)
+        threshold = fb.remove_source(3)
+        fb.add_source(3, threshold)
+        assert 3 in fb._position
+        assert fb.known_thresholds[fb._position[3]] == 0.25
+        # Re-add reuses the original slot: no duplicate identity.
+        assert fb._position[3] == fb._slots[3]
+
+    def test_add_brand_new_source_appends_slot(self):
+        fb = self.make_controller(num_sources=2)
+        fb.add_source(7, 1.5)
+        assert 7 in fb._position
+        assert fb.known_thresholds[fb._position[7]] == 1.5
+        assert len(fb.source_ids) == 3
+
+    def test_reset_does_not_resurrect_removed(self):
+        fb = self.make_controller()
+        fb.remove_source(2)
+        fb.reset()
+        assert 2 not in fb._position
+        assert fb.known_thresholds[fb._slots[2]] == fb.min_threshold
+
+
+# ----------------------------------------------------------------------
+# Topology: reassignment and peer links
+# ----------------------------------------------------------------------
+class TestReassignSource:
+    def test_flips_routing_and_membership(self):
+        topology = multi_topology(num_caches=2, num_sources=4)
+        assert topology.caches_of(0) == (0,)
+        old = topology.reassign_source(0, 1)
+        assert old == 0
+        assert topology.caches_of(0) == (1,)
+        assert 0 not in topology.owned_sources_of(0)
+        assert 0 in topology.owned_sources_of(1)
+        assert 0 in topology.sources_of(1)
+
+    def test_validation(self):
+        topology = multi_topology(num_caches=2, num_sources=4)
+        with pytest.raises(ValueError):
+            topology.reassign_source(9, 1)
+        with pytest.raises(ValueError):
+            topology.reassign_source(0, 5)
+        with pytest.raises(ValueError):
+            topology.reassign_source(0, 0)  # already there
+        replicated = MultiCacheTopology(
+            [ConstantBandwidth(5.0)] * 2,
+            [ConstantBandwidth(2.0)] * 2,
+            assignment=[(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            replicated.reassign_source(0, 1)
+
+
+class TestPeerLinks:
+    def test_add_validation(self):
+        topology = multi_topology(num_caches=2)
+        topology.add_peer_link(0, 1, ConstantBandwidth(4.0))
+        with pytest.raises(ValueError):
+            topology.add_peer_link(0, 1, ConstantBandwidth(4.0))
+        with pytest.raises(ValueError):
+            topology.add_peer_link(0, 0, ConstantBandwidth(4.0))
+        with pytest.raises(ValueError):
+            topology.add_peer_link(0, 7, ConstantBandwidth(4.0))
+
+    def test_send_peer_delivers_to_cache_receiver(self):
+        topology = multi_topology(num_caches=2)
+        got = []
+        topology.set_cache_receiver(got.append, cache_id=1)
+        topology.add_peer_link(0, 1, ConstantBandwidth(4.0))
+        topology.on_network_tick(1.0)
+        message = MigrateMessage(source_id=0, sent_at=1.0, cache_id=1,
+                                 from_cache=0, items=[(0, 1.0, 1)])
+        topology.send_peer(message)
+        assert got == [message]
+        with pytest.raises(ValueError):
+            topology.send_peer(MigrateMessage(
+                source_id=0, sent_at=1.0, cache_id=0, from_cache=1))
+
+    def test_migrate_message_pays_per_item(self):
+        small = MigrateMessage(source_id=0, items=[])
+        big = MigrateMessage(source_id=0,
+                             items=[(i, 0.0, 0) for i in range(5)])
+        assert small.size == 1.0
+        assert big.size == 5.0
+
+    def test_peer_traffic_counts_in_message_totals(self):
+        topology = multi_topology(num_caches=2)
+        topology.set_cache_receiver(lambda m: None, cache_id=1)
+        topology.add_peer_link(0, 1, ConstantBandwidth(4.0))
+        base = topology.total_messages()
+        topology.on_network_tick(1.0)
+        topology.send_peer(MigrateMessage(source_id=0, sent_at=1.0,
+                                          cache_id=1, from_cache=0))
+        assert topology.total_messages() == base + 1
+
+
+# ----------------------------------------------------------------------
+# Migration exactness at the cache node
+# ----------------------------------------------------------------------
+class TestCacheMigration:
+    def make_pair(self, num_sources=4, objects_per_source=1):
+        n = num_sources * objects_per_source
+        topology = MultiCacheTopology(
+            [ConstantBandwidth(10.0)] * 2,
+            [ConstantBandwidth(2.0)] * num_sources)
+        objects = [DataObject(index=i, source_id=i // objects_per_source)
+                   for i in range(n)]
+        caches = []
+        for k in range(2):
+            fb = FeedbackController(
+                topology, omega=10.0, cache_id=k,
+                source_ids=topology.owned_sources_of(k))
+            caches.append(CacheNode(objects, ValueDeviation(), topology,
+                                    store=CacheStore(n), feedback=fb,
+                                    cache_id=k))
+        return topology, objects, caches
+
+    def test_export_snapshots_and_threshold(self):
+        topology, objects, caches = self.make_pair()
+        caches[0].store.apply(0, 4.5, now=1.0, update_count=3)
+        caches[0].feedback.observe_threshold(0, 0.75)
+        items, threshold = caches[0].export_source(0, [0])
+        assert items == [(0, 4.5, 3)]
+        assert threshold == 0.75
+        assert 0 not in caches[0].feedback._position
+
+    def test_export_leaves_truth_untouched(self):
+        topology, objects, caches = self.make_pair()
+        objects[0].apply_update(1.0, 9.0, ValueDeviation())
+        before = objects[0].truth.divergence
+        caches[0].export_source(0, [0])
+        assert objects[0].truth.divergence == before
+
+    def test_migration_adopts_source_and_state(self):
+        topology, objects, caches = self.make_pair()
+        caches[0].store.apply(0, 4.5, now=1.0, update_count=3)
+        items, threshold = caches[0].export_source(0, [0])
+        topology.reassign_source(0, 1)
+        caches[1].on_message(MigrateMessage(
+            source_id=0, sent_at=2.0, cache_id=1, from_cache=0,
+            items=items, threshold=threshold))
+        assert caches[1].migrations_in == 1
+        assert caches[1].store.read(0) == 4.5
+        assert 0 in caches[1].feedback._position
+
+    def test_stale_snapshot_never_regresses_store(self):
+        """A refresh racing ahead of the migration payload wins."""
+        topology, objects, caches = self.make_pair()
+        topology.reassign_source(0, 1)
+        caches[1].store.apply(0, 9.9, now=1.5, update_count=5)
+        caches[1].on_message(MigrateMessage(
+            source_id=0, sent_at=2.0, cache_id=1, from_cache=0,
+            items=[(0, 4.5, 3)], threshold=1.0))
+        assert caches[1].store.read(0) == 9.9
+        assert caches[1].store.applied_counts[0] == 5
+
+    def test_single_item_to_non_primary_is_a_seed(self):
+        topology, objects, caches = self.make_pair()
+        # Source 2 is homed on cache 1; cache 0 receiving its item is a
+        # replica seed: store updated, feedback untouched.
+        assert topology.primary_cache_of(2) == 1
+        caches[0].on_message(MigrateMessage(
+            source_id=2, sent_at=2.0, cache_id=0, from_cache=1,
+            items=[(2, 3.3, 1)]))
+        assert caches[0].seeds_in == 1
+        assert caches[0].migrations_in == 0
+        assert caches[0].store.read(2) == 3.3
+        assert 2 not in caches[0].feedback._position
+
+
+class TestWindowStats:
+    def test_accumulates_and_resets(self):
+        window = WindowStats()
+        window.note(3, 0.5)
+        window.note(3, 0.25)
+        window.note(1, 1.0)
+        assert window.refreshes == {3: 2, 1: 1}
+        assert window.divergence_removed == pytest.approx(1.75)
+        assert window.messages == 3
+        window.reset()
+        assert window.refreshes == {}
+        assert window.messages == 0
+
+
+# ----------------------------------------------------------------------
+# Moving hotspot workload
+# ----------------------------------------------------------------------
+class TestMovingHotspot:
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            moving_hotspot(4, 2, 10.0, rng, num_phases=0)
+        with pytest.raises(ValueError):
+            moving_hotspot(4, 2, 10.0, rng, hot_fraction=1.5)
+        with pytest.raises(ValueError):
+            moving_hotspot(4, 2, 10.0, rng, hot_boost=0.5)
+        with pytest.raises(ValueError):
+            moving_hotspot(4, 2, 10.0, rng, generator="nope")
+
+    def test_heat_moves_between_phases(self):
+        workload = moving_hotspot(8, 4, horizon=400.0,
+                                  rng=np.random.default_rng(1),
+                                  num_phases=2, hot_fraction=0.25,
+                                  hot_boost=20.0,
+                                  rate_range=(0.05, 0.1))
+        trace = workload.trace
+        ops = workload.objects_per_source
+        half = 200.0
+        first = trace.times < half
+        counts_first = np.bincount(
+            trace.object_indices[first] // ops, minlength=8)
+        counts_second = np.bincount(
+            trace.object_indices[~first] // ops, minlength=8)
+        # Phase 0 heats sources {0, 1}; phase 1 heats {2, 3}.
+        assert counts_first[:2].sum() > 3 * counts_first[4:].sum() / 2
+        assert counts_second[2:4].sum() > counts_second[:2].sum()
+
+    def test_rates_report_time_average(self):
+        workload = moving_hotspot(4, 2, horizon=100.0,
+                                  rng=np.random.default_rng(2),
+                                  num_phases=4, hot_fraction=0.25,
+                                  hot_boost=9.0, rate_range=(0.1, 0.1))
+        # Every source is hot for exactly one of four phases:
+        # average rate = (9 + 3) / 4 * base.
+        np.testing.assert_allclose(workload.rates, 0.3)
+
+    def test_legacy_generator_same_shape(self):
+        workload = moving_hotspot(4, 2, horizon=60.0,
+                                  rng=np.random.default_rng(3),
+                                  num_phases=2, generator="legacy")
+        assert workload.num_objects == 8
+        assert (np.diff(workload.trace.times) >= 0).all()
+
+
+# ----------------------------------------------------------------------
+# Rebalancer wiring
+# ----------------------------------------------------------------------
+class TestRebalanceConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RebalanceConfig(mode="psychic")
+        with pytest.raises(ValueError):
+            RebalanceConfig(interval=0.0)
+        with pytest.raises(ValueError):
+            RebalanceConfig(saturation_queue=0)
+        with pytest.raises(ValueError):
+            RebalanceConfig(max_moves=-1)
+        with pytest.raises(ValueError):
+            RebalanceConfig(peer_rate=0.0)
+
+    def test_inert_config_is_legal(self):
+        assert RebalanceConfig(max_moves=0).max_moves == 0
+
+
+class TestRebalancerWiring:
+    def test_inactive_on_star(self):
+        workload = small_workload()
+        topology = StarTopology(
+            ConstantBandwidth(10.0),
+            [ConstantBandwidth(2.0)] * workload.num_sources)
+        rebalancer = Rebalancer(RebalanceConfig(), topology, [])
+        assert not rebalancer.active
+        rebalancer.install(None)  # no ctx access on the inactive path
+        assert rebalancer.telemetry()["active"] is False
+
+    def test_star_run_with_rebalance_matches_without(self):
+        workload = small_workload()
+        spec = RunSpec(warmup=20.0, measure=60.0, seed=0)
+        plain = run_policy(workload, ValueDeviation(),
+                           cooperative(workload), spec)
+        armed = run_policy(workload, ValueDeviation(),
+                           cooperative(workload,
+                                       rebalance=RebalanceConfig()),
+                           spec)
+        assert armed.weighted_divergence == plain.weighted_divergence
+        assert armed.refreshes == plain.refreshes
+
+
+# ----------------------------------------------------------------------
+# E13: the experiment driver
+# ----------------------------------------------------------------------
+def short_cell(**overrides):
+    params = dict(num_caches=4, num_sources=16, objects_per_source=8,
+                  cache_bandwidth=24.0, source_bandwidth=4.0,
+                  num_phases=4, hot_boost=25.0, rate_lo=0.02,
+                  rate_hi=0.12, interval=10.0, max_moves=2,
+                  saturation_queue=2, peer_rate=4.0,
+                  warmup=50.0, measure=200.0, seed=0,
+                  generator="vectorized")
+    params.update(overrides)
+    return RebalanceCell(**params)
+
+
+class TestE13Experiment:
+    def test_adaptive_beats_static_and_migrates(self):
+        point = _run_rebalance_cell(short_cell())
+        assert point.migrations["adaptive"] > 0
+        assert point.migrations["static"] == 0
+        assert point.migrations["inert"] == 0
+        assert (point.divergence["adaptive"]
+                < point.divergence["static"])
+
+    def test_inert_is_bitwise_static(self):
+        point = _run_rebalance_cell(short_cell(num_caches=2,
+                                               measure=120.0))
+        assert point.divergence["inert"] == point.divergence["static"]
+        assert point.refreshes["inert"] == point.refreshes["static"]
+        assert point.messages["inert"] >= point.messages["static"]
+
+    def test_single_cache_arms_coincide(self):
+        point = _run_rebalance_cell(short_cell(
+            num_caches=1, num_sources=4, objects_per_source=4,
+            warmup=20.0, measure=60.0))
+        values = set(point.divergence.values())
+        assert len(values) == 1
+        assert point.migrations["adaptive"] == 0
+
+    def test_run_rebalance_parallel_is_serial(self):
+        kwargs = dict(cache_counts=(1, 2), num_sources=8,
+                      objects_per_source=4, cache_bandwidth=12.0,
+                      num_phases=2, warmup=30.0, measure=90.0, seed=1)
+        serial = run_rebalance(workers=1, **kwargs)
+        fanned = run_rebalance(workers=2, **kwargs)
+        assert [p.divergence for p in serial] == \
+            [p.divergence for p in fanned]
+
+    def test_bad_cache_count_rejected(self):
+        with pytest.raises(ValueError):
+            run_rebalance(cache_counts=(0,))
+
+
+class TestVerdictHelpers:
+    def points(self):
+        good = RebalancePoint(
+            num_caches=2,
+            divergence={"static": 1.0, "inert": 1.0,
+                        "adaptive": 0.7, "distributed": 0.8},
+            refreshes={"static": 50, "inert": 50,
+                       "adaptive": 55, "distributed": 52},
+            migrations={"static": 0, "inert": 0,
+                        "adaptive": 3, "distributed": 2})
+        single = RebalancePoint(
+            num_caches=1,
+            divergence={arm: 0.5 for arm in ARMS},
+            refreshes={arm: 40 for arm in ARMS},
+            migrations={arm: 0 for arm in ARMS})
+        return [single, good]
+
+    def test_all_pass_on_good_points(self):
+        points = self.points()
+        assert inert_matches_static(points)
+        assert adaptive_migrates(points)
+        assert adaptive_beats_static(points)
+
+    def test_inert_divergence_fails_pin(self):
+        points = self.points()
+        points[1].divergence["inert"] = 1.0000001
+        assert not inert_matches_static(points)
+
+    def test_zero_migrations_fail(self):
+        points = self.points()
+        points[1].migrations["adaptive"] = 0
+        assert not adaptive_migrates(points)
+
+    def test_single_cache_only_is_vacuous(self):
+        single = [p for p in self.points() if p.num_caches == 1]
+        assert not adaptive_migrates(single)
+        assert not adaptive_beats_static(single)
+
+    def test_render_contains_verdicts_and_warns(self):
+        points = self.points()
+        text = render_rebalance(points, "E13 smoke")
+        assert "E13 smoke" in text
+        assert "WARNING" not in text
+        points[1].divergence["adaptive"] = 2.0
+        assert "WARNING: violated" in render_rebalance(points, "t")
+
+
+class TestRebalanceCLI:
+    def test_cli_smoke(self, capsys):
+        cli_main(["rebalance", "--num-caches", "1", "2",
+                  "--sources", "8", "--objects", "4",
+                  "--cache-bandwidth", "12", "--phases", "2",
+                  "--warmup", "30", "--measure", "90",
+                  "--workers", "1"])
+        out = capsys.readouterr().out
+        assert "E13 shard rebalancing" in out
+        assert "inert rebalancer == static sharding" in out
+
+
+# ----------------------------------------------------------------------
+# Replica seeding over peer links
+# ----------------------------------------------------------------------
+class TestReplicaSeeding:
+    def test_seeds_flow_on_replicated_layout(self):
+        workload = small_workload(num_sources=4, objects_per_source=2,
+                                  horizon=100.0, seed=2)
+        spec = RunSpec(
+            warmup=20.0, measure=80.0, seed=2,
+            topology=TopologyConfig(kind="replicated", num_caches=2,
+                                    replication=2))
+        policy = cooperative(workload, cache=8.0,
+                             rebalance=RebalanceConfig(peer_seeding=True))
+        run_policy(workload, ValueDeviation(), policy, spec)
+        telemetry = policy.rebalancer.telemetry()
+        assert telemetry["seeds_sent"] > 0
+        assert telemetry["seeds_in"] > 0
+        # Replicated layouts never migrate shards.
+        assert telemetry["migrations"] == 0
+
+
+# ----------------------------------------------------------------------
+# Pre-PR off-pins: five policies x {star, sharded-4}, no rebalancer
+# ----------------------------------------------------------------------
+#: (weighted_divergence, refreshes, messages_total) captured on the
+#: commit before the rebalance subsystem existed.  A drift here means
+#: the rebalancer-off path is no longer the pre-PR code path.
+OFF_PINS = {
+    ("cooperative", "star"): (0.8754264933891042, 1152, 1202),
+    ("uniform", "star"): (1.0129868761933092, 1200, 1200),
+    ("competitive", "star"): (0.9153078563586401, 1159, 1203),
+    ("cgm", "star"): (1.5198495309925777, 563, 1126),
+    ("ideal", "star"): (0.6670549754093161, 1200, 1200),
+    ("cooperative", "sharded-4"): (1.3363023715375013, 1149, 1214),
+    ("uniform", "sharded-4"): (1.0129868761933092, 1200, 1200),
+    ("competitive", "sharded-4"): (1.473554118754973, 1157, 1233),
+    ("cgm", "sharded-4"): (1.7093508063772003, 549, 1098),
+    ("ideal", "sharded-4"): (0.7112427772346746, 1200, 1200),
+}
+
+
+class TestRebalancerOffPins:
+    @pytest.mark.parametrize("policy_name,topo_name",
+                             sorted(OFF_PINS))
+    def test_off_path_is_bitwise_pre_pr(self, policy_name, topo_name):
+        workload = hotspot_shards(8, 4, horizon=200.0,
+                                  rng=np.random.default_rng(3))
+        topology = (None if topo_name == "star"
+                    else TopologyConfig(kind="sharded", num_caches=4))
+        spec = RunSpec(warmup=50.0, measure=150.0, seed=3,
+                       topology=topology)
+        result = run_policy(
+            workload, ValueDeviation(),
+            _make_policy(policy_name, ConstantBandwidth(6.0),
+                         [ConstantBandwidth(1.5) for _ in range(8)],
+                         workload.num_objects),
+            spec)
+        divergence, refreshes, messages = OFF_PINS[
+            (policy_name, topo_name)]
+        assert result.weighted_divergence == divergence
+        assert result.refreshes == refreshes
+        assert result.messages_total == messages
+
+    def test_inert_rebalancer_is_bitwise_off(self):
+        """Armed-but-idle machinery (peer links, windows, ticker) must
+        not move a single float anywhere in the run."""
+        workload = hotspot_shards(8, 4, horizon=200.0,
+                                  rng=np.random.default_rng(3))
+        spec = RunSpec(warmup=50.0, measure=150.0, seed=3,
+                       topology=TopologyConfig(kind="sharded",
+                                               num_caches=4))
+        off = run_policy(workload, ValueDeviation(),
+                         cooperative(workload, cache=6.0, source=1.5),
+                         spec)
+        inert = run_policy(
+            workload, ValueDeviation(),
+            cooperative(workload, cache=6.0, source=1.5,
+                        rebalance=RebalanceConfig(max_moves=0)),
+            spec)
+        assert inert.weighted_divergence == off.weighted_divergence
+        assert inert.refreshes == off.refreshes
