@@ -1,0 +1,138 @@
+"""E14: pluggable delivery planes and multicast replica refresh.
+
+Two benches pin the delivery layer of ``repro.network.delivery``:
+
+* a reduced delivery x replication matrix whose three structural
+  verdicts (multicast == unicast bitwise at replication 1, multicast
+  strictly better divergence per cache-side unit at replication >= 2,
+  CGM/ideal invariant across planes) are hard asserts everywhere --
+  they are exactness/dominance claims, not timings;
+* a plane-indirection overhead pair: the refactored
+  ``Topology.send_upstream`` (charge block + bound ``fan_out`` call)
+  against a hand-inlined replica of the pre-refactor star send path on
+  an identical fresh topology.  The wall-clock ratio must stay within
+  ``PLANE_OVERHEAD_LIMIT`` -- the acceptance number for routing every
+  unicast send through the plane interface.
+
+Timing-ratio asserts are machine-sensitive; CI runs this bench in the
+non-failing perf-smoke job, while the verdict asserts are hard
+everywhere.
+"""
+
+import time
+
+from conftest import run_once
+
+from repro.network.bandwidth import ConstantBandwidth
+from repro.network.messages import RefreshMessage
+from repro.network.topology import StarTopology
+from repro.experiments.multicast import (
+    controls_invariant,
+    multicast_dominates,
+    render_multicast,
+    run_multicast,
+    unicast_tie_at_r1,
+)
+
+#: Max refactored / hand-inlined wall-clock ratio for unicast sends.
+PLANE_OVERHEAD_LIMIT = 1.1
+_SENDS = 40_000
+
+
+def test_multicast_matrix_verdicts(benchmark):
+    """Reduced E14 matrix: all three structural verdicts must hold."""
+    points = run_once(benchmark, run_multicast, replications=(1, 2),
+                      num_sources=8, objects_per_source=4,
+                      cache_bandwidth=8.0, source_bandwidth=4.0,
+                      warmup=40.0, measure=160.0)
+    print()
+    print(render_multicast(points, "E14 (reduced): multicast matrix"))
+    assert len(points) == 4  # 2 planes x 2 replications
+    assert unicast_tie_at_r1(points), \
+        "multicast diverged from unicast with no sibling replicas"
+    assert multicast_dominates(points), \
+        "multicast was not strictly better per unit at replication 2"
+    assert controls_invariant(points), \
+        "the delivery plane leaked into CGM or the ideal curve"
+
+
+def _make_star():
+    """A star whose links never run dry over the benchmark window."""
+    topology = StarTopology(ConstantBandwidth(1e9),
+                            [ConstantBandwidth(1e9)])
+    topology.set_cache_receiver(lambda message: None)
+    topology.on_network_tick(1.0)
+    return topology
+
+
+def _send_via_plane(topology, count):
+    send = topology.send_upstream
+    for i in range(count):
+        send(RefreshMessage(source_id=0, sent_at=1.0))
+
+
+def _send_inlined(topology, count):
+    """The pre-refactor star fast path, verbatim minus the plane."""
+    for i in range(count):
+        message = RefreshMessage(source_id=0, sent_at=1.0)
+        source_link = topology.source_links[message.source_id]
+        if (source_link._lazy
+                and source_link._synced_tick < topology._tick_no):
+            source_link.sync_to_tick(
+                topology._tick_no, topology._tick_time,
+                topology._prev_tick_time, topology._tick_dt,
+                topology._tick_boundaries)
+        now = message.sent_at
+        last = source_link._last_accrue
+        if now > last:
+            rate = source_link._const_rate
+            added = (rate * (now - last) if rate is not None
+                     else source_link.profile.capacity(last, now))
+            source_link._last_accrue = now
+            source_link.credit += added
+            source_link._tick_added += added
+        size = message.size
+        if source_link.queue or source_link.credit < size:
+            continue
+        source_link.credit -= size
+        source_link.tick_used += size
+        source_link.total_sent += 1
+        source_link.total_delivered += 1
+        if topology._reliable is not None:
+            topology._reliable.on_send(message)
+        topology.cache_link.transmit_or_queue(message)
+
+
+def test_unicast_plane_overhead(benchmark):
+    """Plane-routed unicast sends stay within 1.1x the inlined path.
+
+    Fresh topologies per repeat (links accumulate credit/counters);
+    interleaved minima so clock drift hits both arms equally.
+    """
+
+    def both():
+        walls_plane, walls_inline = [], []
+        sent = []
+        for _ in range(3):
+            topology = _make_star()
+            start = time.perf_counter()
+            _send_via_plane(topology, _SENDS)
+            walls_plane.append(time.perf_counter() - start)
+            sent.append(topology.cache_link.total_sent)
+            topology = _make_star()
+            start = time.perf_counter()
+            _send_inlined(topology, _SENDS)
+            walls_inline.append(time.perf_counter() - start)
+            sent.append(topology.cache_link.total_sent)
+        return min(walls_plane), min(walls_inline), sent
+
+    wall_plane, wall_inline, sent = run_once(benchmark, both)
+    assert all(count == _SENDS for count in sent), \
+        "a benchmark arm dropped sends (link ran dry?)"
+    ratio = wall_plane / wall_inline
+    print(f"\nplane {wall_plane:.4f}s vs inlined {wall_inline:.4f}s "
+          f"-> ratio {ratio:.3f} (limit {PLANE_OVERHEAD_LIMIT})")
+    assert ratio <= PLANE_OVERHEAD_LIMIT, (
+        f"plane-routed unicast send ran {ratio:.2f}x the inlined path "
+        f"(limit {PLANE_OVERHEAD_LIMIT}x) -- the delivery indirection "
+        f"is leaking into the hot path")

@@ -24,6 +24,7 @@ ranking is bit-identical at any worker count.
 
 Run:  python examples/calibrate.py [--trials 50] [--workers N]
       python examples/calibrate.py --scenario lossy-10
+      python examples/calibrate.py --num-caches 4 --delivery multicast
 """
 
 import argparse
@@ -42,7 +43,7 @@ from repro.experiments.parallel import (
 from repro.faults.plan import FAULT_SCENARIOS, fault_scenario
 from repro.faults.retry import RetryPolicy
 from repro.metrics import format_table
-from repro.network import ConstantBandwidth
+from repro.network import DELIVERY_MODES, ConstantBandwidth, TopologyConfig
 from repro.policies import CooperativePolicy
 from repro.workloads import uniform_random_walk
 
@@ -72,6 +73,12 @@ class Trial:
     retry_attempts: int = 3
     #: feedback staleness TTL; None = thresholds never decay
     feedback_ttl: float | None = None
+    #: cache nodes (1 = the paper's star; > 1 = replicated layout)
+    num_caches: int = 1
+    #: replica copies per source in the replicated layout
+    replication: int = 2
+    #: fan-out plane for replicated refreshes ("unicast"/"multicast")
+    delivery: str = "unicast"
 
 
 def run_trial(trial: Trial) -> tuple[float, int, Trial]:
@@ -102,8 +109,14 @@ def run_trial(trial: Trial) -> tuple[float, int, Trial]:
              else RetryPolicy(timeout=trial.retry_timeout,
                               backoff=trial.retry_backoff,
                               max_attempts=trial.retry_attempts))
+    topology = None  # the paper's star
+    if trial.num_caches > 1:
+        topology = TopologyConfig(kind="replicated",
+                                  num_caches=trial.num_caches,
+                                  replication=trial.replication,
+                                  delivery=trial.delivery)
     spec = RunSpec(warmup=trial.warmup, measure=trial.measure,
-                   seed=trial.seed,
+                   seed=trial.seed, topology=topology,
                    faults=None if plan.is_empty() else plan,
                    retry=retry)
     result = run_policy(workload, ValueDeviation(), policy, spec)
@@ -111,7 +124,10 @@ def run_trial(trial: Trial) -> tuple[float, int, Trial]:
 
 
 def sample_trials(num_trials: int, seed: int,
-                  scenario: str = "none") -> list[Trial]:
+                  scenario: str = "none",
+                  num_caches: int = 1,
+                  replication: int = 2,
+                  delivery: str = "unicast") -> list[Trial]:
     """Seeded random search: log-uniform periods, small integer batches.
 
     Under a fault scenario the robustness dials join the search space;
@@ -145,7 +161,8 @@ def sample_trials(num_trials: int, seed: int,
             warmup=100.0, measure=400.0, seed=seed,
             scenario=scenario, retry_timeout=retry_timeout,
             retry_backoff=retry_backoff, retry_attempts=retry_attempts,
-            feedback_ttl=ttl))
+            feedback_ttl=ttl, num_caches=num_caches,
+            replication=replication, delivery=delivery))
     return trials
 
 
@@ -158,11 +175,25 @@ def main(argv: list[str] | None = None) -> None:
                         default="none",
                         help="fault plan to run every trial under; also "
                              "tunes retry/backoff/TTL knobs")
+    parser.add_argument("--num-caches", type=int, default=1,
+                        help="cache nodes (> 1 runs every trial on a "
+                             "replicated layout instead of the star)")
+    parser.add_argument("--replication", type=int, default=2,
+                        help="replica copies per source when "
+                             "--num-caches > 1")
+    parser.add_argument("--delivery", choices=list(DELIVERY_MODES),
+                        default="unicast",
+                        help="fan-out plane for replicated refreshes "
+                             "(multicast pays cache-side bandwidth once "
+                             "per logical refresh)")
     parser.add_argument("--top", type=int, default=10,
                         help="rows to show in the ranking table")
     args = parser.parse_args(argv)
 
-    trials = sample_trials(args.trials, args.seed, scenario=args.scenario)
+    trials = sample_trials(args.trials, args.seed, scenario=args.scenario,
+                           num_caches=args.num_caches,
+                           replication=args.replication,
+                           delivery=args.delivery)
     results = ParallelRunner(args.workers).map(run_trial, trials)
     # Rank by divergence, then messages: prefer the cheaper of two
     # equally-fresh settings.  Index breaks exact ties deterministically.
@@ -194,6 +225,9 @@ def main(argv: list[str] | None = None) -> None:
              f"{args.workers} workers")
     if fault_run:
         title += f", scenario {args.scenario}"
+    if args.num_caches > 1:
+        title += (f", {args.num_caches} caches x r={args.replication} "
+                  f"({args.delivery})")
     print(format_table(headers, rows, title=title))
     best = results[order[0]][2]
     period = ("adaptive" if best.feedback_period is None

@@ -43,13 +43,25 @@ class FeedbackController:
     ``source_ids`` restricts the controller to the sources this cache is
     responsible for (``None`` means every source in the topology);
     ``known_thresholds`` is indexed in step with that tuple.
+
+    ``gains``, aligned with ``source_ids``, weights the ranking by how
+    much divergence one refresh from that source removes (the delivery
+    plane's :meth:`~repro.network.delivery.DeliveryPlane.feedback_gain`:
+    under multicast a source replicated ``r`` ways freshens ``r``
+    replicas per unit of upstream bandwidth, so its threshold counts
+    ``r`` times heavier when choosing whom to ask for more refreshes).
+    ``None`` keeps the paper's unweighted ranking and leaves the
+    selection arithmetic untouched -- the unicast path stays bitwise
+    identical.  Gains only reorder *selection* under scarcity; recorded
+    thresholds and the ``/ omega`` decay always use raw values.
     """
 
     def __init__(self, topology: Topology, omega: float,
                  max_per_tick: int | None = None,
                  min_threshold: float = 1e-11,
                  cache_id: int = 0,
-                 source_ids: Sequence[int] | None = None) -> None:
+                 source_ids: Sequence[int] | None = None,
+                 gains: Sequence[float] | None = None) -> None:
         self.topology = topology
         self.omega = omega
         self.max_per_tick = max_per_tick
@@ -58,6 +70,13 @@ class FeedbackController:
         if source_ids is None:
             source_ids = range(topology.num_sources)
         self.source_ids = tuple(source_ids)
+        if gains is not None:
+            gains = list(gains)
+            if len(gains) != len(self.source_ids):
+                raise ValueError(
+                    f"gains lists {len(gains)} entries for "
+                    f"{len(self.source_ids)} sources")
+        self._gains: list[float] | None = gains
         self._position = {sid: pos for pos, sid in enumerate(self.source_ids)}
         # Permanent sid -> slot map: slots are never compacted, so a
         # source migrated away and back (see add/remove_source) reuses
@@ -138,6 +157,10 @@ class FeedbackController:
             # _set_threshold below accounts the eligibility delta.
             self.known_thresholds.append(self.min_threshold)
             self._versions.append(0)
+            if self._gains is not None:
+                # Migrations only move sharded (unreplicated) sources,
+                # whose refresh gain is 1 under every delivery plane.
+                self._gains.append(1.0)
         self._position[source_id] = position
         self._set_threshold(position, threshold)
 
@@ -154,6 +177,12 @@ class FeedbackController:
                            - (old > self.min_threshold))
         self._versions[position] += 1
         if threshold > self.min_threshold:
+            # Heap keys carry the gain; eligibility and the push condition
+            # use the raw threshold, so a gained entry can never outlive
+            # its source's eligibility (version bumps invalidate anyway).
+            gains = self._gains
+            if gains is not None:
+                threshold = threshold * gains[position]
             heapq.heappush(self._heap, (-threshold,
                                         self.source_ids[position],
                                         self._versions[position]))

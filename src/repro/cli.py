@@ -10,6 +10,7 @@ Usage (installed package)::
     python -m repro fig6 --sources 10 --fractions 0.1 0.5 0.9
     python -m repro multicache --num-caches 1 2 4 --topology sharded
     python -m repro faults --scenarios lossy-10 crash-restart
+    python -m repro multicast --replications 1 2 4
     python -m repro readmodel --replication 3 --read-rate 0.5
     python -m repro quickstart            # the README comparison
     python -m repro profile scale --sources 100000   # cProfile any command
@@ -39,6 +40,11 @@ from repro.experiments.netcond import (
     run_netcond,
 )
 from repro.experiments.faults import render_faults, run_faults
+from repro.experiments.multicast import (
+    REPLICATIONS,
+    render_multicast,
+    run_multicast,
+)
 from repro.experiments.params import best_cell, run_parameter_grid
 from repro.experiments.rebalance import (
     CACHE_COUNTS,
@@ -59,6 +65,7 @@ from repro.experiments.validation import (
     run_uniform_validation,
 )
 from repro.faults.plan import FAULT_SCENARIOS
+from repro.network.delivery import DELIVERY_MODES
 
 
 def _add_timing(parser: argparse.ArgumentParser, warmup: float,
@@ -156,6 +163,7 @@ def _cmd_multicache(args: argparse.Namespace) -> str:
                             warmup=args.warmup, measure=args.measure,
                             seed=args.seed,
                             cache_rates=args.cache_rates,
+                            delivery=args.delivery,
                             workers=args.workers)
     label = (f"heterogeneous cache rates {args.cache_rates}"
              if args.cache_rates else args.topology)
@@ -199,6 +207,22 @@ def _cmd_faults(args: argparse.Namespace) -> str:
                 "and feedback blackouts (weighted divergence)")
 
 
+def _cmd_multicast(args: argparse.Namespace) -> str:
+    points = run_multicast(deliveries=tuple(args.deliveries),
+                           replications=tuple(args.replications),
+                           num_caches=args.num_caches,
+                           num_sources=args.sources,
+                           objects_per_source=args.objects,
+                           cache_bandwidth=args.cache_bandwidth,
+                           source_bandwidth=args.source_bandwidth,
+                           warmup=args.warmup, measure=args.measure,
+                           seed=args.seed, generator=args.generator,
+                           workers=args.workers)
+    return render_multicast(
+        points, "E14 multicast delivery: five policies x delivery plane "
+                "x replication (weighted divergence)")
+
+
 def _cmd_rebalance(args: argparse.Namespace) -> str:
     points = run_rebalance(cache_counts=tuple(args.num_caches),
                            num_sources=args.sources,
@@ -232,7 +256,8 @@ def _cmd_readmodel(args: argparse.Namespace) -> str:
                            source_bandwidth=args.source_bandwidth,
                            warmup=args.warmup, measure=args.measure,
                            seed=args.seed, generator=args.generator,
-                           replay=args.replay, workers=args.workers)
+                           replay=args.replay, delivery=args.delivery,
+                           workers=args.workers)
     return render_readmodel(
         points, f"Replicated read model ({args.num_caches} caches): "
                 "read-observed divergence by read policy")
@@ -384,6 +409,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="heterogeneous per-cache link rates in msgs/s "
                         "(e.g. 8,4,2); implies a single sweep point with "
                         "that many caches and overrides --cache-bandwidth")
+    p.add_argument("--delivery", choices=list(DELIVERY_MODES),
+                   default="unicast",
+                   help="fan-out plane for replicated sources (multicast "
+                        "charges cache-side bandwidth once per logical "
+                        "refresh)")
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_multicache)
@@ -449,6 +479,34 @@ def build_parser() -> argparse.ArgumentParser:
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_faults)
+
+    p = sub.add_parser("multicast",
+                       help="E14 multicast-delivery matrix: five policies "
+                            "x {unicast, multicast} x replication on a "
+                            "replicated layout")
+    p.add_argument("--deliveries", choices=list(DELIVERY_MODES),
+                   nargs="+", default=list(DELIVERY_MODES),
+                   help="delivery planes to run")
+    p.add_argument("--replications", type=int, nargs="+",
+                   default=list(REPLICATIONS),
+                   help="replication factors to sweep")
+    p.add_argument("--num-caches", type=int, default=4,
+                   help="cache nodes in the replicated layout")
+    p.add_argument("--sources", type=int, default=16)
+    p.add_argument("--objects", type=int, default=8,
+                   help="objects per source")
+    p.add_argument("--cache-bandwidth", type=float, default=12.0,
+                   help="aggregate cache-side msgs/s (keep the links "
+                        "saturated: an idle network hides the planes' "
+                        "cost difference)")
+    p.add_argument("--source-bandwidth", type=float, default=4.0,
+                   help="per-source msgs/s")
+    p.add_argument("--generator", choices=["vectorized", "legacy"],
+                   default="vectorized",
+                   help="workload sampling implementation")
+    _add_timing(p, warmup=100.0, measure=400.0)
+    _add_workers(p)
+    p.set_defaults(fn=_cmd_multicast)
 
     p = sub.add_parser("rebalance",
                        help="E13 shard-rebalancing sweep: static vs "
@@ -517,6 +575,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default="batched",
                    help="trace/read replay mode (batched = apply all "
                         "events between simulator wakeups in one call)")
+    p.add_argument("--delivery", choices=list(DELIVERY_MODES),
+                   default="unicast",
+                   help="fan-out plane for the replicated refreshes")
     _add_timing(p, warmup=100.0, measure=400.0)
     _add_workers(p)
     p.set_defaults(fn=_cmd_readmodel)

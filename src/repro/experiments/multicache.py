@@ -76,6 +76,7 @@ class MultiCacheCell:
     seed: int
     cache_rates: tuple[float, ...] | None
     generator: str
+    delivery: str = "unicast"
 
 
 def _run_multicache_cell(cell: MultiCacheCell) -> MultiCachePoint:
@@ -94,11 +95,13 @@ def _run_multicache_cell(cell: MultiCacheCell) -> MultiCachePoint:
     metric = ValueDeviation()
     num_caches = cell.num_caches
     if num_caches == 1:
-        config = TopologyConfig(cache_rates=cell.cache_rates)
+        config = TopologyConfig(cache_rates=cell.cache_rates,
+                                delivery=cell.delivery)
     else:
         config = TopologyConfig(kind=cell.kind, num_caches=num_caches,
                                 replication=cell.replication,
-                                cache_rates=cell.cache_rates)
+                                cache_rates=cell.cache_rates,
+                                delivery=cell.delivery)
     spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
                    seed=cell.seed, topology=config)
 
@@ -144,6 +147,7 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
                    seed: int = 0,
                    cache_rates: tuple[float, ...] | None = None,
                    generator: str = "vectorized",
+                   delivery: str = "unicast",
                    workers: int = 1) -> list[MultiCachePoint]:
     """Sweep cache-node counts on one seeded hot-shard workload.
 
@@ -169,7 +173,7 @@ def run_multicache(num_caches_list: tuple[int, ...] = (1, 2, 4, 8),
         source_bandwidth=source_bandwidth,
         hot_fraction=hot_fraction, hot_boost=hot_boost,
         warmup=warmup, measure=measure, seed=seed,
-        cache_rates=cache_rates, generator=generator)
+        cache_rates=cache_rates, generator=generator, delivery=delivery)
         for num_caches in num_caches_list]
     return ParallelRunner(workers).map(_run_multicache_cell, cells)
 

@@ -245,6 +245,7 @@ class ReadModelCell:
     seed: int
     generator: str
     replay: str
+    delivery: str = "unicast"
 
 
 #: Per-process memo of the last read trace (keyed by workload spec +
@@ -277,11 +278,12 @@ def _run_readmodel_cell(cell: ReadModelCell) -> ReadModelPoint:
     workload, read_trace = _readmodel_streams(cell)
     r = cell.replication
     if cell.num_caches == 1:
-        config = TopologyConfig()
+        config = TopologyConfig(delivery=cell.delivery)
     else:
         config = TopologyConfig(kind="replicated",
                                 num_caches=cell.num_caches,
-                                replication=r)
+                                replication=r,
+                                delivery=cell.delivery)
     spec = RunSpec(warmup=cell.warmup, measure=cell.measure,
                    seed=cell.seed, topology=config, replay=cell.replay)
     policy = CooperativePolicy(
@@ -323,6 +325,7 @@ def run_readmodel(num_caches: int = 3,
                   seed: int = 0,
                   generator: str = "vectorized",
                   replay: str = "batched",
+                  delivery: str = "unicast",
                   workers: int = 1) -> list[ReadModelPoint]:
     """Sweep read policy x replication x aggregate cache bandwidth.
 
@@ -361,7 +364,8 @@ def run_readmodel(num_caches: int = 3,
                     measure=measure,
                     seed=seed,
                     generator=generator,
-                    replay=replay))
+                    replay=replay,
+                    delivery=delivery))
     return ParallelRunner(workers).map(_run_readmodel_cell, cells)
 
 

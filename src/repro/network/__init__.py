@@ -9,6 +9,13 @@ from repro.network.bandwidth import (
     make_bandwidth,
     split_bandwidth,
 )
+from repro.network.delivery import (
+    DELIVERY_MODES,
+    DeliveryPlane,
+    MulticastDelivery,
+    UnicastDelivery,
+    make_delivery_plane,
+)
 from repro.network.link import Link
 from repro.network.messages import (
     MESSAGE_SIZE,
@@ -18,6 +25,7 @@ from repro.network.messages import (
     PollRequest,
     PollResponse,
     RefreshMessage,
+    message_cost,
 )
 from repro.network.topology import (
     MultiCacheTopology,
@@ -29,14 +37,17 @@ from repro.network.topology import (
 )
 
 __all__ = [
+    "DELIVERY_MODES",
     "MESSAGE_SIZE",
     "BandwidthProfile",
     "BatchRefreshMessage",
     "ConstantBandwidth",
+    "DeliveryPlane",
     "FeedbackMessage",
     "Link",
     "Message",
     "MultiCacheTopology",
+    "MulticastDelivery",
     "PollRequest",
     "PollResponse",
     "RefreshMessage",
@@ -46,7 +57,10 @@ __all__ = [
     "Topology",
     "TopologyConfig",
     "TraceBandwidth",
+    "UnicastDelivery",
     "make_bandwidth",
+    "make_delivery_plane",
+    "message_cost",
     "replica_assignment",
     "shard_assignment",
     "split_bandwidth",

@@ -1,0 +1,139 @@
+"""Pluggable delivery planes: how one upstream send reaches its replicas.
+
+A :class:`~repro.network.topology.Topology` charges the *source* link
+once per logical refresh (the fan-out happens inside the network, as
+with IP multicast) and then hands the message to its delivery plane,
+which decides what the fan-out costs on the *cache* side:
+
+* :class:`UnicastDelivery` -- the historical transport: every replica
+  copy is an independent message that pays full size on its own cache
+  link.  A source replicated across ``r`` caches therefore spends
+  ``r`` units of cache-side bandwidth per logical refresh.  This plane
+  is bit-for-bit identical to the pre-plane hard-wired path; the
+  equivalence suites pin that.
+* :class:`MulticastDelivery` -- one logical refresh consumes cache-side
+  credit once, on the primary replica's link; the sibling replicas
+  receive zero-size copies that still traverse their links' FIFO queues
+  (a copy behind a backlog waits its turn, it just costs nothing when
+  the queue drains).  Cache-side cost per logical refresh is 1 unit
+  regardless of ``r``.
+
+Both planes fan out *per delivery leg*: each replica copy is a distinct
+message delivered through its own cache link, so the fault injector's
+counter-keyed drop draws, the reliable layer's per-leg ack bookkeeping
+and a crashed cache's FIFO loss accounting are identical in structure
+across planes (see DESIGN.md Sec 15).
+
+The plane also tells the feedback economy what a refresh is worth:
+:meth:`DeliveryPlane.feedback_gain` is the divergence-removal multiplier
+of one refresh from a source replicated ``r`` ways.  Under unicast a
+replicated refresh still costs ``r`` units for ``r`` replica updates --
+no amortization, gain 1.  Under multicast the same unit of upstream
+bandwidth freshens all ``r`` replicas, so the cooperative cache weighs
+that source's threshold ``r`` times heavier when ranking feedback
+targets (replicated objects are cheaper per unit of divergence
+removed).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import replace
+from typing import Sequence
+
+from repro.network.link import Link
+from repro.network.messages import Message
+
+#: Names accepted by :func:`make_delivery_plane` and
+#: :class:`~repro.network.topology.TopologyConfig`.
+DELIVERY_MODES = ("unicast", "multicast")
+
+
+class DeliveryPlane(ABC):
+    """Strategy for fanning one upstream message out to replica caches.
+
+    ``fan_out`` runs *after* the source link was charged (once) and the
+    reliable layer, if any, recorded the send; it only decides how the
+    replica copies hit the cache links.  ``targets`` is the source's
+    cache assignment; ``message.cache_id`` is already stamped with the
+    primary target ``targets[0]``.
+    """
+
+    #: machine-readable plane name (CLI/config value)
+    name: str = "abstract"
+
+    @abstractmethod
+    def fan_out(self, links: Sequence[Link], message: Message,
+                targets: Sequence[int]) -> None:
+        """Deliver ``message`` (and per-replica copies) via ``links``."""
+
+    def refresh_cost(self, replication: int) -> float:
+        """Cache-side bandwidth units one logical refresh consumes."""
+        raise NotImplementedError
+
+    def feedback_gain(self, replication: int) -> float:
+        """Divergence-removal multiplier of one refresh at this fan-out.
+
+        Used by the cache's feedback controller to rank sources by
+        *value per unit of bandwidth*; 1.0 means the plane adds no
+        amortization and the controller's arithmetic stays untouched.
+        """
+        raise NotImplementedError
+
+
+class UnicastDelivery(DeliveryPlane):
+    """Every replica copy pays full message size on its own cache link."""
+
+    name = "unicast"
+
+    def fan_out(self, links: Sequence[Link], message: Message,
+                targets: Sequence[int]) -> None:
+        links[targets[0]].transmit_or_queue(message)
+        if len(targets) > 1:
+            for extra in targets[1:]:
+                links[extra].transmit_or_queue(
+                    replace(message, cache_id=extra))
+
+    def refresh_cost(self, replication: int) -> float:
+        return float(replication)
+
+    def feedback_gain(self, replication: int) -> float:
+        return 1.0
+
+
+class MulticastDelivery(DeliveryPlane):
+    """One cache-side charge per logical refresh; siblings ride free.
+
+    The primary replica's copy is a full-size message (it pays the one
+    unit the shared upstream send costs); every sibling copy is the
+    same payload with ``size`` 0.  A zero-size copy delivers instantly
+    on an idle link but still queues FIFO behind a backlog -- ordering
+    and per-leg fault semantics are those of a real message, only the
+    credit charge is gone.
+    """
+
+    name = "multicast"
+
+    def fan_out(self, links: Sequence[Link], message: Message,
+                targets: Sequence[int]) -> None:
+        links[targets[0]].transmit_or_queue(message)
+        if len(targets) > 1:
+            for extra in targets[1:]:
+                links[extra].transmit_or_queue(
+                    replace(message, cache_id=extra, size=0.0))
+
+    def refresh_cost(self, replication: int) -> float:
+        return 1.0
+
+    def feedback_gain(self, replication: int) -> float:
+        return float(replication)
+
+
+def make_delivery_plane(name: str) -> DeliveryPlane:
+    """Resolve a plane by config/CLI name (``"unicast"``/``"multicast"``)."""
+    if name == "unicast":
+        return UnicastDelivery()
+    if name == "multicast":
+        return MulticastDelivery()
+    raise ValueError(
+        f"unknown delivery plane {name!r}; expected one of {DELIVERY_MODES}")

@@ -57,7 +57,7 @@ class Link:
                  "_last_accrue", "_tick_added", "_const_rate", "_trace",
                  "_lazy", "_synced_tick", "_synced_boundary", "on_queue",
                  "tick_capacity", "tick_used", "total_sent",
-                 "total_delivered", "total_queued_peak",
+                 "total_delivered", "total_units", "total_queued_peak",
                  "_window_queued_peak")
 
     def __init__(self, name: str, profile: BandwidthProfile,
@@ -93,6 +93,10 @@ class Link:
         self.tick_used = 0.0
         self.total_sent = 0
         self.total_delivered = 0
+        #: cumulative credit actually spent (bandwidth units); message
+        #: counters count envelopes, this counts cost -- a multicast
+        #: sibling copy is one more message but zero more units
+        self.total_units = 0.0
         self.total_queued_peak = 0
         self._window_queued_peak = 0
 
@@ -453,6 +457,7 @@ class Link:
     def _consume(self, size: float) -> None:
         self.credit -= size
         self.tick_used += size
+        self.total_units += size
 
     # ------------------------------------------------------------------
     # Telemetry

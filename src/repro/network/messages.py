@@ -24,6 +24,20 @@ from dataclasses import dataclass, field
 MESSAGE_SIZE = 1.0
 
 
+def message_cost(item_count: int = 1) -> float:
+    """Bandwidth cost of a message carrying ``item_count`` payload items.
+
+    The single authority for size arithmetic: the paper's base rule is
+    "all messages have the same size, and each message requires 1 unit
+    of bandwidth", and multi-item messages that pay per item (migrations)
+    scale that unit by their item count -- an empty payload still costs
+    one unit, since the envelope crosses the wire either way.  Sec 10.1
+    batches deliberately do *not* use the multiplier (amortization is
+    their whole point); they keep the one-unit default.
+    """
+    return MESSAGE_SIZE * max(1, item_count)
+
+
 @dataclass(slots=True)
 class Message:
     """Base class: common routing fields.
@@ -32,15 +46,17 @@ class Message:
     addressed by the ``(cache_id, source_id)`` pair.  Single-cache (star)
     layouts leave ``cache_id`` at 0; multi-cache topologies stamp the
     cache endpoint during routing (sharded) or fan a copy out per replica.
+
+    ``size`` is a real field rather than a computed property so delivery
+    planes can restamp it per replica copy (multicast siblings ride at
+    size 0); it defaults to the paper's one-unit cost.
     """
 
     source_id: int  #: id of the source endpoint of this message's flow
     sent_at: float = field(default=0.0, kw_only=True)
     cache_id: int = field(default=0, kw_only=True)  #: cache endpoint id
-
-    @property
-    def size(self) -> float:
-        return MESSAGE_SIZE
+    #: bandwidth cost in link-capacity units (see :func:`message_cost`)
+    size: float = field(default=MESSAGE_SIZE, kw_only=True)
 
 
 @dataclass(slots=True)
@@ -102,9 +118,10 @@ class MigrateMessage(Message):
     threshold: float = float("inf")  #: donor's learned threshold (inf = seed)
     from_cache: int = 0  #: donor cache id
 
-    @property
-    def size(self) -> float:
-        return MESSAGE_SIZE * max(1, len(self.items))
+    def __post_init__(self) -> None:
+        # A migration pays for what it moves; any ``size`` passed in
+        # (e.g. by dataclasses.replace) is overridden by the payload.
+        self.size = message_cost(len(self.items))
 
 
 @dataclass(slots=True)

@@ -34,13 +34,18 @@ The topology is policy-agnostic: receivers are registered as callbacks.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from dataclasses import dataclass, replace
+from dataclasses import dataclass
 from typing import Callable, Sequence
 
 from repro.network.bandwidth import (
     BandwidthProfile,
     ConstantBandwidth,
     split_bandwidth,
+)
+from repro.network.delivery import (
+    DELIVERY_MODES,
+    DeliveryPlane,
+    make_delivery_plane,
 )
 from repro.network.link import Link
 from repro.network.messages import FeedbackMessage, Message
@@ -74,7 +79,9 @@ class Topology(ABC):
         """Set up tick bookkeeping and the active-link set.
 
         Concrete topologies call this at the end of ``__init__`` once
-        ``self.source_links`` and :attr:`cache_links` exist.
+        ``self.source_links``, :attr:`cache_links`, ``self._delivery``
+        (the :class:`~repro.network.delivery.DeliveryPlane`) and
+        ``self._upstream_targets`` (per-source cache-id tuples) exist.
         """
         self._tick_no = 0
         self._tick_time = 0.0
@@ -112,7 +119,18 @@ class Topology(ABC):
         # loop then iterates nothing, keeping the no-peer path exact.
         self._peer_links: dict[tuple[int, int], Link] = {}
         self._peer_link_list: list[Link] = []
+        # Hot-path bindings for the shared send_upstream: a stable list
+        # of cache links (the cache_links property may build a tuple per
+        # call) and the delivery plane's bound fan_out, resolved once so
+        # per-send cost is one extra call, not an attribute chain.
+        self._upstream_links = list(self.cache_links)
+        self._fan_out = self._delivery.fan_out
         self._classify_links()
+
+    @property
+    def delivery_plane(self) -> DeliveryPlane:
+        """The fan-out strategy this topology routes upstream sends by."""
+        return self._delivery
 
     def _classify_links(self) -> None:
         eager: list[Link] = []
@@ -368,25 +386,81 @@ class Topology(ABC):
     # ------------------------------------------------------------------
     # Sending
     # ------------------------------------------------------------------
-    @abstractmethod
     def send_upstream(self, message: Message) -> bool:
-        """Source -> cache(s).  Returns False if the source link lacks
-        credit; routing stamps ``message.cache_id``."""
+        """Source -> assigned cache(s); source credit is charged once.
 
-    @abstractmethod
+        Returns False if the source link lacks credit; routing stamps
+        ``message.cache_id`` with the primary target before the delivery
+        plane fans the message out to every replica link.
+
+        The sync/accrue/consume helpers are inlined here: every
+        update-driven source drain lands on this method, and at m ~ 1e6
+        the call overhead of the layered helpers dominates.  The float
+        operations run in the helpers' exact order, so results are
+        bit-for-bit unchanged (pinned by the equivalence suites).  This
+        is the one copy of the charge block all topologies share; what
+        used to be per-topology per-replica loops is now the plane's
+        :meth:`~repro.network.delivery.DeliveryPlane.fan_out`.
+        """
+        source_link = self.source_links[message.source_id]
+        if source_link._lazy and source_link._synced_tick < self._tick_no:
+            source_link.sync_to_tick(self._tick_no, self._tick_time,
+                                     self._prev_tick_time, self._tick_dt,
+                                     self._tick_boundaries)
+        now = message.sent_at
+        last = source_link._last_accrue
+        if now > last:
+            rate = source_link._const_rate
+            added = (rate * (now - last) if rate is not None
+                     else source_link.profile.capacity(last, now))
+            source_link._last_accrue = now
+            source_link.credit += added
+            source_link._tick_added += added
+        size = message.size
+        if source_link.queue or source_link.credit < size:
+            return False
+        source_link.credit -= size
+        source_link.tick_used += size
+        source_link.total_units += size
+        source_link.total_sent += 1
+        source_link.total_delivered += 1
+        if self._reliable is not None:
+            self._reliable.on_send(message)
+        targets = self._upstream_targets[message.source_id]
+        primary = targets[0]
+        message.cache_id = primary
+        if len(targets) == 1:
+            # Single-target sends (star, sharded, replication 1) have no
+            # fan-out to delegate: every plane delivers one full-size
+            # copy on the primary link, so the plane call is skipped --
+            # this keeps the unicast hot path within the pre-plane
+            # overhead budget (bench_multicast gates the ratio).
+            self._upstream_links[primary].transmit_or_queue(message)
+        else:
+            self._fan_out(self._upstream_links, message, targets)
+        return True
+
     def send_upstream_unconstrained(self, message: Message) -> None:
         """Source -> cache ignoring source-side limits.
 
         Figure 6's CGM comparison states "the polling model used in the CGM
         approach assumes no limitations on source-side bandwidth", so poll
         responses bypass the source link.  The target cache is
-        ``message.cache_id`` (the cache that issued the poll).
+        ``message.cache_id`` (the cache that issued the poll) -- polls are
+        point-to-point round-trips, so no plane fan-out applies.
         """
+        self._upstream_links[message.cache_id].transmit_or_queue(message)
 
-    @abstractmethod
     def send_downstream(self, message: Message) -> bool:
         """Cache ``message.cache_id`` -> source ``message.source_id``.
         Consumes that cache link's credit; immediate delivery."""
+        receiver = self._source_receivers[message.source_id]
+        injector = self._fault_injector
+        if injector is not None and not injector.allow_downstream(
+                message.cache_id, message.source_id):
+            receiver = None  # credit still spent; delivery suppressed
+        return self._upstream_links[message.cache_id].send(message,
+                                                           receiver)
 
     def send_downstream_batch(self, cache_id: int,
                               source_ids: Sequence[int],
@@ -452,6 +526,16 @@ class Topology(ABC):
         """Messages accepted by all cache links so far."""
         return sum(link.total_sent for link in self.cache_links)
 
+    def cache_units_total(self) -> float:
+        """Bandwidth units consumed across all cache links so far.
+
+        Distinct from :meth:`cache_messages_total`: a multicast sibling
+        copy is one more *message* but zero more *units*, so this is the
+        honest denominator for divergence-per-unit-bandwidth comparisons
+        across delivery planes (experiment E14).
+        """
+        return sum(link.total_units for link in self.cache_links)
+
     def cache_queued_peak(self) -> int:
         """Worst FIFO backlog observed on any cache link."""
         return max((link.total_queued_peak for link in self.cache_links),
@@ -493,7 +577,8 @@ class StarTopology(Topology):
     """One shared cache link plus one link per source (the paper's model)."""
 
     def __init__(self, cache_profile: BandwidthProfile,
-                 source_profiles: list[BandwidthProfile]) -> None:
+                 source_profiles: list[BandwidthProfile],
+                 delivery: str | DeliveryPlane = "unicast") -> None:
         self.cache_link = Link("cache", cache_profile,
                                deliver=self._deliver_to_cache)
         self.source_links = [
@@ -502,6 +587,12 @@ class StarTopology(Topology):
         ]
         self._cache_receiver: Receiver | None = None
         self._all_sources = tuple(range(len(source_profiles)))
+        self._delivery = (delivery if isinstance(delivery, DeliveryPlane)
+                          else make_delivery_plane(delivery))
+        # Every source targets the single cache; one shared tuple is fine
+        # because fan_out only reads it (cache_id restamps are per copy).
+        self._upstream_targets: Sequence[tuple[int, ...]] = (
+            [(0,)] * len(source_profiles))
         self._init_network_state()
 
     # ------------------------------------------------------------------
@@ -546,56 +637,6 @@ class StarTopology(Topology):
         return self._cache_receiver
 
     # ------------------------------------------------------------------
-    # Sending
-    # ------------------------------------------------------------------
-    def send_upstream(self, message: Message) -> bool:
-        """Source -> cache.  Returns False if the source link lacks credit.
-
-        The sync/accrue/consume helpers are inlined here: every
-        update-driven source drain lands on this method, and at m ~ 1e6
-        the call overhead of the layered helpers dominates.  The float
-        operations run in the helpers' exact order, so results are
-        bit-for-bit unchanged (pinned by the equivalence suites).
-        """
-        source_link = self.source_links[message.source_id]
-        if source_link._lazy and source_link._synced_tick < self._tick_no:
-            source_link.sync_to_tick(self._tick_no, self._tick_time,
-                                     self._prev_tick_time, self._tick_dt,
-                                     self._tick_boundaries)
-        now = message.sent_at
-        last = source_link._last_accrue
-        if now > last:
-            rate = source_link._const_rate
-            added = (rate * (now - last) if rate is not None
-                     else source_link.profile.capacity(last, now))
-            source_link._last_accrue = now
-            source_link.credit += added
-            source_link._tick_added += added
-        size = message.size
-        if source_link.queue or source_link.credit < size:
-            return False
-        source_link.credit -= size
-        source_link.tick_used += size
-        source_link.total_sent += 1
-        source_link.total_delivered += 1
-        if self._reliable is not None:
-            self._reliable.on_send(message)
-        self.cache_link.transmit_or_queue(message)
-        return True
-
-    def send_upstream_unconstrained(self, message: Message) -> None:
-        self.cache_link.transmit_or_queue(message)
-
-    def send_downstream(self, message: Message) -> bool:
-        """Cache -> source.  Consumes cache credit; immediate delivery."""
-        receiver = self._source_receivers[message.source_id]
-        injector = self._fault_injector
-        if injector is not None and not injector.allow_downstream(
-                0, message.source_id):
-            receiver = None  # credit still spent; delivery suppressed
-        return self.cache_link.send(message, receiver)
-
-    # ------------------------------------------------------------------
     # Internal delivery
     # ------------------------------------------------------------------
     def _deliver_to_cache(self, message: Message) -> None:
@@ -635,7 +676,8 @@ class MultiCacheTopology(Topology):
 
     def __init__(self, cache_profiles: Sequence[BandwidthProfile],
                  source_profiles: Sequence[BandwidthProfile],
-                 assignment: Sequence[Sequence[int]] | None = None) -> None:
+                 assignment: Sequence[Sequence[int]] | None = None,
+                 delivery: str | DeliveryPlane = "unicast") -> None:
         if not cache_profiles:
             raise ValueError("need at least one cache profile")
         num_caches = len(cache_profiles)
@@ -677,6 +719,11 @@ class MultiCacheTopology(Topology):
                   if self._assignment[j][0] == k)
             for k in range(num_caches)
         ]
+        self._delivery = (delivery if isinstance(delivery, DeliveryPlane)
+                          else make_delivery_plane(delivery))
+        # The SAME list object as _assignment, so reassign_source's
+        # in-place mutations route the very next upstream send.
+        self._upstream_targets: Sequence[tuple[int, ...]] = self._assignment
         self._init_network_state()
 
     # ------------------------------------------------------------------
@@ -763,58 +810,6 @@ class MultiCacheTopology(Topology):
         return deliver
 
     # ------------------------------------------------------------------
-    # Sending
-    # ------------------------------------------------------------------
-    def send_upstream(self, message: Message) -> bool:
-        """Source -> assigned cache(s); source credit is charged once.
-
-        Sync/accrue/consume are inlined exactly as in
-        :meth:`StarTopology.send_upstream` (same float-op order, same
-        bits) -- this is the per-update hot path.
-        """
-        source_link = self.source_links[message.source_id]
-        if source_link._lazy and source_link._synced_tick < self._tick_no:
-            source_link.sync_to_tick(self._tick_no, self._tick_time,
-                                     self._prev_tick_time, self._tick_dt,
-                                     self._tick_boundaries)
-        now = message.sent_at
-        last = source_link._last_accrue
-        if now > last:
-            rate = source_link._const_rate
-            added = (rate * (now - last) if rate is not None
-                     else source_link.profile.capacity(last, now))
-            source_link._last_accrue = now
-            source_link.credit += added
-            source_link._tick_added += added
-        size = message.size
-        if source_link.queue or source_link.credit < size:
-            return False
-        source_link.credit -= size
-        source_link.tick_used += size
-        source_link.total_sent += 1
-        source_link.total_delivered += 1
-        if self._reliable is not None:
-            self._reliable.on_send(message)
-        targets = self._assignment[message.source_id]
-        message.cache_id = targets[0]
-        self._cache_links[targets[0]].transmit_or_queue(message)
-        for extra in targets[1:]:
-            self._cache_links[extra].transmit_or_queue(
-                replace(message, cache_id=extra))
-        return True
-
-    def send_upstream_unconstrained(self, message: Message) -> None:
-        self._cache_links[message.cache_id].transmit_or_queue(message)
-
-    def send_downstream(self, message: Message) -> bool:
-        receiver = self._source_receivers[message.source_id]
-        injector = self._fault_injector
-        if injector is not None and not injector.allow_downstream(
-                message.cache_id, message.source_id):
-            receiver = None  # credit still spent; delivery suppressed
-        return self._cache_links[message.cache_id].send(message, receiver)
-
-    # ------------------------------------------------------------------
     # Telemetry
     # ------------------------------------------------------------------
     def source_at_capacity(self, source_id: int) -> bool:
@@ -875,6 +870,11 @@ class TopologyConfig:
     ``cache_rates`` pins explicit per-cache rates (heterogeneous edges:
     one beefy regional cache plus thin PoPs), in which case those absolute
     msgs/s rates replace the even split of the aggregate profile.
+
+    ``delivery`` picks the fan-out plane (``"unicast"``/``"multicast"``,
+    see :mod:`repro.network.delivery`); it only changes behavior when
+    sources are replicated, but is accepted for every kind so sweeps can
+    vary it orthogonally.
     """
 
     kind: str = "star"
@@ -882,10 +882,15 @@ class TopologyConfig:
     replication: int = 2
     strategy: str = "block"
     cache_rates: tuple[float, ...] | None = None
+    delivery: str = "unicast"
 
     def __post_init__(self) -> None:
         if self.kind not in ("star", "sharded", "replicated"):
             raise ValueError(f"unknown topology kind {self.kind!r}")
+        if self.delivery not in DELIVERY_MODES:
+            raise ValueError(
+                f"unknown delivery plane {self.delivery!r}; expected one "
+                f"of {DELIVERY_MODES}")
         if self.num_caches < 1:
             raise ValueError(
                 f"num_caches must be >= 1, got {self.num_caches}")
@@ -932,7 +937,9 @@ class TopologyConfig:
         if self.kind == "star":
             if self.cache_rates is not None:
                 cache_profile = ConstantBandwidth(self.cache_rates[0])
-            return StarTopology(cache_profile, list(source_profiles))
+            return StarTopology(cache_profile, list(source_profiles),
+                                delivery=self.delivery)
         return MultiCacheTopology(
             self.cache_profiles(cache_profile), source_profiles,
-            assignment=self.assignment_for(len(source_profiles)))
+            assignment=self.assignment_for(len(source_profiles)),
+            delivery=self.delivery)

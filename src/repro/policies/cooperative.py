@@ -172,10 +172,19 @@ class CooperativePolicy(SyncPolicy):
         self.caches = []
         self.stores = []
         self.feedbacks = []
+        plane = topology.delivery_plane
         for k in range(topology.num_caches):
+            owned = topology.owned_sources_of(k)
+            # Per-source refresh value under this delivery plane: r-way
+            # replicated sources are r times cheaper per unit of
+            # divergence removed under multicast.  All-ones collapses to
+            # None so the unicast ranking arithmetic is untouched.
+            gains = [plane.feedback_gain(len(topology.caches_of(j)))
+                     for j in owned]
             feedback = FeedbackController(
                 topology, self.omega, cache_id=k,
-                source_ids=topology.owned_sources_of(k))
+                source_ids=owned,
+                gains=None if all(g == 1.0 for g in gains) else gains)
             store = CacheStore(workload.num_objects,
                                workload.trace.initial_values)
             cache = CacheNode(ctx.objects, ctx.metric, topology,

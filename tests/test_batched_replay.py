@@ -94,6 +94,9 @@ TOPOLOGIES = [
                  id="sharded-4"),
     pytest.param(TopologyConfig(kind="replicated", num_caches=4,
                                 replication=2), id="replicated-4"),
+    pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                replication=2, delivery="multicast"),
+                 id="replicated-4-multicast"),
 ]
 
 

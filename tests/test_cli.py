@@ -188,6 +188,49 @@ class TestReadModelCommand:
             build_parser().parse_args(["readmodel", "--generator", "x"])
 
 
+class TestMulticastCommand:
+    def test_multicast_defaults(self):
+        args = build_parser().parse_args(["multicast"])
+        assert args.deliveries == ["unicast", "multicast"]
+        assert args.replications == [1, 2, 4]
+        assert args.num_caches == 4
+        assert args.cache_bandwidth == 12.0
+
+    def test_multicast_tiny_run(self, capsys):
+        assert main(["multicast", "--replications", "1", "2",
+                     "--sources", "8", "--objects", "4",
+                     "--cache-bandwidth", "8",
+                     "--warmup", "40", "--measure", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "E14 multicast delivery" in out
+        assert ("multicast == unicast at replication 1 (all policies, "
+                "bitwise): yes") in out
+        assert ("multicast strictly better divergence per unit at "
+                "replication >= 2 (adaptive policies): yes") in out
+        assert ("cgm/ideal invariant across delivery planes (bitwise): "
+                "yes") in out
+
+    def test_multicast_partial_matrix_reports_na(self, capsys):
+        assert main(["multicast", "--deliveries", "unicast",
+                     "--replications", "2",
+                     "--sources", "4", "--objects", "3",
+                     "--warmup", "20", "--measure", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "n/a (cells not in this matrix)" in out
+
+    def test_multicast_rejects_unknown_delivery(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["multicast", "--deliveries",
+                                       "broadcast"])
+
+    def test_multicache_delivery_flag(self):
+        args = build_parser().parse_args(["multicache", "--delivery",
+                                          "multicast"])
+        assert args.delivery == "multicast"
+        args = build_parser().parse_args(["readmodel"])
+        assert args.delivery == "unicast"
+
+
 class TestProfileCommand:
     def test_profile_wraps_subcommand(self, capsys):
         assert main(["profile", "--top", "5", "scale", "--sources", "15",

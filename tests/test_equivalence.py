@@ -111,6 +111,9 @@ TOPOLOGIES = [
                  id="sharded-4"),
     pytest.param(TopologyConfig(kind="replicated", num_caches=4,
                                 replication=2), id="replicated-4"),
+    pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                replication=2, delivery="multicast"),
+                 id="replicated-4-multicast"),
 ]
 
 
@@ -527,6 +530,11 @@ class TestFaultEquivalence:
         pytest.param(None, id="star"),
         pytest.param(TopologyConfig(kind="sharded", num_caches=4),
                      id="sharded-4"),
+        pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                    replication=2), id="replicated-4"),
+        pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                    replication=2, delivery="multicast"),
+                     id="replicated-4-multicast"),
     ]
 
     @pytest.mark.parametrize("topology", FAULT_TOPOLOGIES)

@@ -42,7 +42,7 @@ from repro.faults.plan import (
 from repro.faults.retry import RetryPolicy
 from repro.network.bandwidth import ConstantBandwidth
 from repro.network.messages import RefreshMessage
-from repro.network.topology import TopologyConfig
+from repro.network.topology import MultiCacheTopology, TopologyConfig
 from repro.policies.cooperative import CooperativePolicy
 from repro.workloads.synthetic import uniform_random_walk
 
@@ -444,6 +444,11 @@ class TestEmptyPlanPins:
         pytest.param(None, id="star"),
         pytest.param(TopologyConfig(kind="sharded", num_caches=4),
                      id="sharded-4"),
+        pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                    replication=2), id="replicated-4"),
+        pytest.param(TopologyConfig(kind="replicated", num_caches=4,
+                                    replication=2, delivery="multicast"),
+                     id="replicated-4-multicast"),
     ])
     @pytest.mark.parametrize("name", POLICY_NAMES)
     def test_empty_plan_bitwise(self, name, topology):
@@ -462,6 +467,121 @@ class TestEmptyPlanPins:
                     result.feedback_messages, result.poll_messages)
 
         assert run(None) == run(FaultPlan())
+
+
+class TestReplicatedLegFaults:
+    """Fault draws and credit accounting happen per delivery *leg* on
+    replicated layouts, under both delivery planes."""
+
+    @staticmethod
+    def replicated_pair(delivery):
+        topology = MultiCacheTopology(
+            [ConstantBandwidth(50.0), ConstantBandwidth(50.0)],
+            [ConstantBandwidth(50.0)],
+            assignment=[(0, 1)], delivery=delivery)
+        seen = {0: [], 1: []}
+        for k in (0, 1):
+            topology.set_cache_receiver(
+                (lambda k: lambda m: seen[k].append(m.source_id))(k),
+                cache_id=k)
+        return topology, seen
+
+    @pytest.mark.parametrize("delivery", ["unicast", "multicast"])
+    def test_loss_draws_are_per_leg(self, delivery):
+        """A rule scoped to one cache kills only that leg's copies; the
+        primary leg of the very same logical send still delivers."""
+        topology, seen = self.replicated_pair(delivery)
+        plan = FaultPlan(loss=(LossRule(0.0, 1e9, 1.0, cache_ids=(1,)),))
+        injector, _ = make_injector(plan, now=1.0)
+        topology.install_faults(injector=injector)
+        topology.on_network_tick(1.0)
+        for _ in range(4):
+            assert topology.send_upstream(
+                RefreshMessage(source_id=0, sent_at=1.0))
+        assert seen[0] == [0, 0, 0, 0]
+        assert seen[1] == []
+        assert injector.dropped_upstream == 4
+        # The injector fires after credit is spent, so the doomed leg
+        # still paid its fare -- full size under unicast, free sibling
+        # copies under multicast.
+        expected = 4.0 if delivery == "unicast" else 0.0
+        assert topology.cache_links[1].total_units == expected
+
+    @pytest.mark.parametrize("delivery", ["unicast", "multicast"])
+    def test_reliable_acks_are_per_leg(self, delivery):
+        """A refresh acks only when *every* target leg delivered.  With
+        the sibling leg dark, entries exhaust their attempt budget and
+        are abandoned, while the primary leg suppresses the duplicate
+        copies each retransmit lands on it."""
+        workload = small_workload(horizon=200.0, rate_cap=0.2)
+        topology = TopologyConfig(kind="replicated", num_caches=2,
+                                  replication=2, delivery=delivery)
+        plan = FaultPlan(loss=(LossRule(0.0, 1e9, 1.0, cache_ids=(1,)),))
+        spec = RunSpec(warmup=40.0, measure=160.0, topology=topology,
+                       faults=plan,
+                       retry=RetryPolicy(timeout=3.0, backoff=2.0,
+                                         max_attempts=4))
+        policy = cooperative(workload)
+        result = run_policy(workload, ValueDeviation(), policy, spec)
+        reliable = policy.topology.reliable
+        assert result.refreshes > 0  # the surviving leg kept delivering
+        assert reliable.retransmitted > 0
+        assert reliable.abandoned > 0
+        assert reliable.duplicate_suppressed > 0
+        assert policy.topology.telemetry()["dropped"] > 0
+
+    @pytest.mark.parametrize("delivery", ["unicast", "multicast"])
+    def test_retry_recovers_on_replicated_layout(self, delivery):
+        """The E12 retry claim holds on replicated layouts too: loss
+        hurts, retransmits claw a chunk of the gap back."""
+        workload = small_workload(horizon=300.0, rate_cap=0.1)
+        topology = TopologyConfig(kind="replicated", num_caches=4,
+                                  replication=2, delivery=delivery)
+        plan = fault_scenario("lossy-10", 50.0, 250.0)
+        clean = run_policy(
+            workload, ValueDeviation(), cooperative(workload),
+            RunSpec(warmup=50.0, measure=250.0, topology=topology))
+        lossy = run_policy(
+            workload, ValueDeviation(), cooperative(workload),
+            RunSpec(warmup=50.0, measure=250.0, topology=topology,
+                    faults=plan))
+        policy = cooperative(workload)
+        retried = run_policy(
+            workload, ValueDeviation(), policy,
+            RunSpec(warmup=50.0, measure=250.0, topology=topology,
+                    faults=plan,
+                    retry=RetryPolicy(timeout=3.0, backoff=2.0,
+                                      max_attempts=4)))
+        assert lossy.weighted_divergence > clean.weighted_divergence
+        assert policy.topology.telemetry()["retransmitted"] > 0
+        assert retried.weighted_divergence < lossy.weighted_divergence
+
+    @pytest.mark.parametrize("delivery", ["unicast", "multicast"])
+    def test_downstream_batch_spends_credit_on_suppressed_legs(
+            self, delivery):
+        """send_downstream_batch on a replicated layout: the delivered
+        count is a budget prefix, and a suppressed delivery still spends
+        cache credit (the injector fires after the charge)."""
+        topology = MultiCacheTopology(
+            [ConstantBandwidth(3.0), ConstantBandwidth(50.0)],
+            [ConstantBandwidth(1.0) for _ in range(4)],
+            assignment=[(0, 1), (0, 1), (1, 0), (1, 0)],
+            delivery=delivery)
+        got = []
+        for j in range(4):
+            topology.set_source_receiver(
+                j, (lambda j: lambda m: got.append(j))(j))
+        plan = FaultPlan(loss=(LossRule(0.0, 1e9, 1.0,
+                                        direction="downstream",
+                                        source_ids=(1,)),))
+        injector, _ = make_injector(plan, now=1.0)
+        topology.install_faults(injector=injector)
+        topology.on_network_tick(1.0)
+        delivered = topology.send_downstream_batch(0, [0, 1, 2, 3], 1.0)
+        assert delivered == 3  # cache 0 banked 3 credits, budget prefix
+        assert got == [0, 2]   # source 1 suppressed, source 3 unfunded
+        assert injector.dropped_downstream == 1
+        assert topology.cache_links[0].total_units == 3.0
 
 
 class TestShardHardening:

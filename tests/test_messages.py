@@ -1,12 +1,16 @@
 """Tests for message dataclasses and their protocol fields."""
 
+from dataclasses import replace
+
 from repro.network.messages import (
     MESSAGE_SIZE,
     BatchRefreshMessage,
     FeedbackMessage,
+    MigrateMessage,
     PollRequest,
     PollResponse,
     RefreshMessage,
+    message_cost,
 )
 
 
@@ -53,3 +57,44 @@ class TestMessageBasics:
 
     def test_batch_items_default_empty(self):
         assert BatchRefreshMessage(source_id=0).items == []
+
+
+class TestMessageCost:
+    """One authority for size arithmetic (repro.network.message_cost)."""
+
+    def test_default_is_one_unit(self):
+        assert message_cost() == MESSAGE_SIZE == 1.0
+
+    def test_scales_with_item_count(self):
+        assert message_cost(5) == 5 * MESSAGE_SIZE
+
+    def test_empty_payload_still_pays_the_envelope(self):
+        assert message_cost(0) == MESSAGE_SIZE
+
+    def test_migrate_size_tracks_payload(self):
+        seed = MigrateMessage(source_id=0, items=[(0, 1.0, 1)])
+        assert seed.size == message_cost(1)
+        shard = MigrateMessage(
+            source_id=0, items=[(i, float(i), i) for i in range(7)])
+        assert shard.size == message_cost(7)
+        assert MigrateMessage(source_id=0).size == message_cost(0)
+
+    def test_migrate_size_survives_replace(self):
+        """dataclasses.replace re-runs __post_init__, so a restamped
+        copy (the fan-out path's per-replica clone) keeps the honest
+        payload-derived size rather than any stale override."""
+        shard = MigrateMessage(
+            source_id=0, items=[(i, float(i), i) for i in range(3)])
+        clone = replace(shard, cache_id=2)
+        assert clone.size == message_cost(3)
+        forced = replace(shard, size=0.0)
+        assert forced.size == message_cost(3)
+
+    def test_size_is_restampable_on_refreshes(self):
+        """Multicast sibling copies ride at size 0; the field must be a
+        real per-instance slot, not a computed property."""
+        original = RefreshMessage(source_id=1, sent_at=2.0)
+        sibling = replace(original, cache_id=3, size=0.0)
+        assert sibling.size == 0.0
+        assert sibling.cache_id == 3
+        assert original.size == MESSAGE_SIZE
